@@ -1,0 +1,41 @@
+"""Ablation benchmark: input/output buffer depth (paper §5, future work).
+
+The paper stresses that SPAM's correctness needs only single-flit input
+buffers and conjectures that "by using larger input buffers ... message
+latency could potentially be further reduced".  This benchmark sweeps the
+buffer depth for a Figure-2-style single multicast and records the latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import AblationConfig, run_buffer_depth_ablation
+
+DEPTHS = (1, 2, 4, 8)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_buffer_depth_ablation(benchmark, record_result):
+    config = AblationConfig()
+
+    rows = benchmark.pedantic(
+        lambda: run_buffer_depth_ablation(DEPTHS, config), rounds=1, iterations=1
+    )
+
+    header = (
+        "Buffer-depth ablation — single multicast latency (us), "
+        f"{config.network_size}-switch irregular network, "
+        f"{config.num_destinations} destinations\n"
+    )
+    record_result("ablation_buffer_depth", header + format_table(rows))
+
+    assert [row["buffer_depth"] for row in rows] == list(DEPTHS)
+    single_flit = rows[0]["latency_us"]
+    deepest = rows[-1]["latency_us"]
+    # Single-flit buffers are sufficient (correctness) and deeper buffers
+    # never hurt an uncongested multicast (the paper's conjecture is that
+    # they can only help).
+    assert single_flit > 10.0
+    assert deepest <= single_flit + 0.1

@@ -1,0 +1,41 @@
+"""Ablation benchmark: destination partitioning (paper §5, future work).
+
+The paper proposes partitioning large destination sets "into groups of
+contiguous nodes" served by separate worms to relieve the hot spot at the
+spanning-tree root.  This benchmark sends a large multicast as 1, 2 and 4
+contiguous-group worms and records the completion latency of the whole
+logical multicast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import AblationConfig, run_partition_ablation
+
+GROUP_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_destination_partitioning_ablation(benchmark, record_result):
+    config = AblationConfig(num_destinations=48, network_size=64)
+
+    rows = benchmark.pedantic(
+        lambda: run_partition_ablation(GROUP_COUNTS, config=config), rounds=1, iterations=1
+    )
+
+    header = (
+        "Destination-partitioning ablation — completion latency (us) of one "
+        f"{config.num_destinations}-destination multicast sent as k contiguous-group worms, "
+        f"{config.network_size}-switch irregular network (idle)\n"
+    )
+    record_result("ablation_partitioning", header + format_table(rows))
+
+    assert [row["groups"] for row in rows] == list(GROUP_COUNTS)
+    # On an idle network each extra worm costs roughly one extra startup,
+    # because the source serialises its sends — this is the trade-off the
+    # paper's future-work section weighs against root-hot-spot relief.
+    latencies = [row["latency_us"] for row in rows]
+    assert latencies == sorted(latencies)
+    assert latencies[1] >= latencies[0] + 5.0

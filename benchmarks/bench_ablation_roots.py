@@ -1,0 +1,42 @@
+"""Ablation benchmark: spanning-tree root selection.
+
+The paper picks "an arbitrary vertex" as the root and notes in §5 that
+"judicious selection of spanning trees for the underlying routing algorithm
+may have significant effects on performance".  This benchmark compares root
+selection heuristics (graph centre, maximum degree, first switch) on the same
+single-multicast workload and records both the resulting tree height and the
+measured latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import AblationConfig, run_root_ablation
+
+STRATEGIES = ("center", "max-degree", "first")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_root_selection_ablation(benchmark, record_result):
+    config = AblationConfig()
+
+    rows = benchmark.pedantic(
+        lambda: run_root_ablation(STRATEGIES, config), rounds=1, iterations=1
+    )
+
+    header = (
+        "Root-selection ablation — single multicast latency (us), "
+        f"{config.network_size}-switch irregular network, "
+        f"{config.num_destinations} destinations\n"
+    )
+    record_result("ablation_root_selection", header + format_table(rows))
+
+    by_name = {row["root_strategy"]: row for row in rows}
+    assert set(by_name) == set(STRATEGIES)
+    # A central root never yields a taller tree than an arbitrary root.
+    assert by_name["center"]["tree_height"] <= by_name["first"]["tree_height"]
+    # Latencies stay in the paper's 10-20 us band on an idle network.
+    for row in rows:
+        assert 10.0 < row["latency_us"] < 20.0

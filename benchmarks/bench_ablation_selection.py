@@ -1,0 +1,40 @@
+"""Ablation benchmark: selection function.
+
+The paper's §3.1 notes that "a number of possible selection functions could
+be used to select a channel from those provided by the routing function" and
+its simulations use distance-to-LCA priority.  This benchmark compares that
+policy against a channel-id priority and a random priority on the same
+single-multicast workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import AblationConfig, run_selection_ablation
+
+STRATEGIES = ("distance-to-lca", "first-allowed", "random")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_selection_function_ablation(benchmark, record_result):
+    config = AblationConfig()
+
+    rows = benchmark.pedantic(
+        lambda: run_selection_ablation(STRATEGIES, config), rounds=1, iterations=1
+    )
+
+    header = (
+        "Selection-function ablation — single multicast latency (us), "
+        f"{config.network_size}-switch irregular network, "
+        f"{config.num_destinations} destinations\n"
+    )
+    record_result("ablation_selection", header + format_table(rows))
+
+    by_name = {row["selection"]: row["latency_us"] for row in rows}
+    assert set(by_name) == set(STRATEGIES)
+    # The paper's distance-to-LCA policy is never beaten by more than noise:
+    # it must be within 5% of the best policy on this workload.
+    best = min(by_name.values())
+    assert by_name["distance-to-lca"] <= best * 1.05

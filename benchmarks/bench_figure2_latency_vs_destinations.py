@@ -1,0 +1,49 @@
+"""Benchmark harness regenerating **Figure 2** of the paper.
+
+Paper: "message latency was measured for a single multicast with a varying
+number of destinations ... for networks comprising 128 and 256 nodes"; the
+resulting curves are flat at roughly 11-14 µs, essentially independent of
+both the destination count and the network size.
+
+The harness sweeps the destination count in 128- and 256-switch irregular
+networks and prints/stores one latency series per network size — the same
+two curves the figure shows.  Absolute values depend on the random topology
+instance; the *shape* assertions (flatness, near-equality of the two
+networks, > 10 µs startup floor) are checked here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import series_side_by_side
+from repro.experiments.figure2 import Figure2Config, run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_latency_vs_destinations(benchmark, record_result):
+    config = Figure2Config()
+
+    result = benchmark.pedantic(lambda: run_figure2(config), rounds=1, iterations=1)
+
+    table = series_side_by_side(result)
+    header = (
+        f"Figure 2 reproduction — latency (us) vs number of destinations\n"
+        f"scale={result.parameters['scale']}, "
+        f"message length={result.parameters['message_length_flits']} flits, "
+        f"samples/point={result.parameters['samples_per_point']}\n"
+    )
+    record_result("figure2_latency_vs_destinations", header + table)
+
+    # Shape checks mirroring the paper's observations.
+    for series in result.series:
+        means = series.means()
+        assert all(mean > 10.0 for mean in means), "latency must exceed the 10 us startup"
+        assert series.spread() < 0.35 * min(means), (
+            "latency should be essentially independent of the destination count"
+        )
+    if len(result.series) == 2:
+        small, large = (series.max_mean() for series in result.series)
+        assert abs(small - large) < 0.5 * min(small, large), (
+            "latency should be largely independent of the network size"
+        )

@@ -1,0 +1,50 @@
+"""Benchmark harness regenerating **Figure 3** of the paper.
+
+Paper: "message latency was measured for mixed unicast and multicast traffic
+in a 128 node network in which 90% of messages were unicast and 10% of
+messages were multicast.  Simulations were conducted for multicasts with 8,
+16, 32, and 64 destinations using a negative binomial distribution with
+varying average arrival rates."  The figure shows latency rising with the
+arrival rate while the four curves (one per multicast degree) stay close
+together.
+
+The harness reproduces the same sweep (reduced sample counts by default; set
+``REPRO_SCALE=paper`` for the full configuration) and prints/stores one
+latency series per multicast degree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import series_side_by_side
+from repro.experiments.figure3 import Figure3Config, run_figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_mixed_traffic(benchmark, record_result):
+    config = Figure3Config()
+
+    result = benchmark.pedantic(lambda: run_figure3(config), rounds=1, iterations=1)
+
+    table = series_side_by_side(result)
+    header = (
+        "Figure 3 reproduction — latency (us) vs per-processor arrival rate "
+        "(messages/us)\n"
+        f"network={result.parameters['network_size']} switches, 90% unicast / 10% multicast, "
+        f"scale={result.parameters['scale']}, "
+        f"messages/point={result.parameters['messages_per_point']}\n"
+    )
+    record_result("figure3_mixed_traffic", header + table)
+
+    # Shape checks mirroring the paper's observations.
+    for series in result.series:
+        means = series.means()
+        assert means[0] > 10.0, "even at the lightest load the startup floor applies"
+        assert means[-1] >= means[0] * 0.95, "latency must not fall as the load rises"
+    # Latency largely independent of the multicast degree: compare the curves
+    # at the heaviest sampled load.
+    heavy = [series.means()[-1] for series in result.series]
+    assert max(heavy) - min(heavy) < 0.6 * min(heavy), (
+        "latency should remain largely independent of the number of destinations"
+    )

@@ -1,0 +1,64 @@
+"""Engineering benchmark: raw throughput of the flit-level simulator.
+
+Not a figure from the paper — this measures how many flit-hops per second
+the event-driven engine sustains, which determines how expensive the
+paper-scale configurations are to regenerate.  pytest-benchmark runs the same
+broadcast repeatedly, so this is also the benchmark to watch when optimising
+the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spam import SpamRouting
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.topology.irregular import lattice_irregular_network
+
+
+@pytest.fixture(scope="module")
+def broadcast_setup():
+    network = lattice_irregular_network(64, seed=11)
+    routing = SpamRouting.build(network)
+    config = SimulationConfig(message_length_flits=64)
+    return network, routing, config
+
+
+@pytest.mark.benchmark(group="engine")
+def test_broadcast_simulation_throughput(benchmark, broadcast_setup, record_result):
+    network, routing, config = broadcast_setup
+
+    def run_once():
+        simulator = WormholeSimulator(network, routing, config)
+        simulator.submit_broadcast(network.processors()[0])
+        stats = simulator.run()
+        return stats
+
+    stats = benchmark(run_once)
+    assert stats.messages_completed == 1
+    record_result(
+        "simulator_throughput",
+        (
+            "Engine micro-benchmark — one 63-destination broadcast, 64-switch network, "
+            f"64-flit message\nflit-hops simulated per run: {stats.flit_hops}\n"
+            "(see pytest-benchmark output for the wall-clock distribution)"
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_unicast_simulation_throughput(benchmark, broadcast_setup):
+    network, routing, config = broadcast_setup
+    processors = network.processors()
+
+    def run_once():
+        simulator = WormholeSimulator(network, routing, config)
+        for index in range(8):
+            simulator.submit_message(
+                processors[index], [processors[(index + 17) % len(processors)]], at_ns=0
+            )
+        return simulator.run()
+
+    stats = benchmark(run_once)
+    assert stats.messages_completed == 8

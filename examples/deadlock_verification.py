@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Empirically verify the paper's deadlock-freedom claim (Theorem 1).
+
+Three complementary checks are run and printed:
+
+1. **Channel dependency graph** — the dependency relation induced by SPAM's
+   routing rules is enumerated on a random irregular topology and checked to
+   be acyclic (the Dally/Seitz condition).  The same check is run for the
+   classic up*/down* baseline (also acyclic) and for a naive minimal-path
+   router (cyclic), to show the check is not vacuous.
+2. **Stress simulation** — heavy mixed traffic is run through the flit-level
+   simulator with SPAM; every message must be delivered.
+3. **Deadlock injection** — the same stress load is run with the naive
+   minimal router on a ring network; the simulator's deadlock detector is
+   expected to fire and its wait-for-cycle report is printed.
+
+Run with:  python examples/deadlock_verification.py
+"""
+
+from __future__ import annotations
+
+from repro import SpamRouting, UpDownRouting
+from repro.routing import NaiveMinimalRouting
+from repro.topology import lattice_irregular_network, ring_network
+from repro.verification import (
+    build_naive_cdg,
+    build_spam_cdg,
+    build_updown_cdg,
+    check_unicast_reachability,
+    stress_test_deadlock_freedom,
+)
+
+
+def main() -> None:
+    network = lattice_irregular_network(32, seed=3)
+    spam = SpamRouting.build(network)
+    updown = UpDownRouting(network, spam.tree)
+
+    print("=== 1. Channel dependency graphs ===")
+    for name, cdg in (
+        ("SPAM", build_spam_cdg(spam)),
+        ("up*/down*", build_updown_cdg(updown)),
+        ("naive minimal (ring)", build_naive_cdg(NaiveMinimalRouting(ring_network(8)))),
+    ):
+        summary = cdg.summary()
+        print(
+            f"  {name:<22} channels={summary['channels']:<5} "
+            f"dependencies={summary['dependencies']:<7} acyclic={summary['acyclic']}"
+        )
+
+    print("\n=== 2. Livelock freedom: exhaustive reachability ===")
+    reach = check_unicast_reachability(spam, sample_pairs=200)
+    print(
+        f"  routed {reach.pairs_checked} source/destination pairs, "
+        f"longest route {reach.max_route_length} channels, failures: {len(reach.failures)}"
+    )
+
+    print("\n=== 3. Stress simulation with SPAM (must deliver everything) ===")
+    for result in stress_test_deadlock_freedom(network, spam, rounds=2, messages_per_round=40):
+        print(
+            f"  delivered {result.messages_completed}/{result.messages_submitted} messages, "
+            f"deadlocked={result.deadlocked}, mean latency {result.mean_latency_us:.1f} us"
+        )
+
+    print("\n=== 4. Deadlock injection with naive minimal routing on a ring ===")
+    ring = ring_network(8)
+    naive = NaiveMinimalRouting(ring)
+    results = stress_test_deadlock_freedom(
+        ring, naive, rounds=3, messages_per_round=60, rate_per_us=0.2, message_length_flits=32
+    )
+    deadlocked = [r for r in results if r.deadlocked]
+    print(f"  {len(deadlocked)}/{len(results)} stress rounds deadlocked (expected: at least one)")
+    if deadlocked:
+        first_line = deadlocked[0].deadlock_description.splitlines()[0]
+        print(f"  detector report: {first_line}")
+
+
+if __name__ == "__main__":
+    main()

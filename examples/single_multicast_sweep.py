@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Figure 2 style study: latency versus number of destinations.
+
+Runs single SPAM multicasts with an increasing number of destinations in a
+paper-style irregular network and prints the latency curve, demonstrating
+the paper's headline result that latency is essentially independent of the
+number of destinations (because all destinations are reached by one worm
+with a single startup).
+
+The network size and sample counts are reduced relative to the paper so the
+example finishes in seconds; use the benchmark harness
+(``pytest benchmarks/bench_figure2_latency_vs_destinations.py``) or the
+``REPRO_SCALE=paper`` environment variable for the full configuration.
+
+Run with:  python examples/single_multicast_sweep.py [num_switches]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import series_side_by_side, software_multicast_lower_bound_us
+from repro.experiments import Figure2Config, default_destination_counts, run_figure2
+from repro.experiments.common import SCALES
+
+
+def main() -> None:
+    num_switches = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    config = Figure2Config(
+        network_sizes=(num_switches,),
+        destination_counts={num_switches: default_destination_counts(num_switches, points=7)},
+        scale=SCALES["smoke"],
+    )
+    result = run_figure2(config)
+
+    print(f"Latency vs number of destinations ({num_switches}-switch irregular network)")
+    print(series_side_by_side(result))
+
+    series = result.series[0]
+    flat_spread = series.spread()
+    print(f"\nspread of the curve (max - min latency): {flat_spread:.2f} us")
+    print("paper's observation: the curve is essentially flat — a single worm and a")
+    print("single startup reach any number of destinations.")
+
+    broadcast = series.points[-1]
+    bound = software_multicast_lower_bound_us(int(broadcast.x))
+    print(
+        f"\nbroadcast to {int(broadcast.x)} destinations: {broadcast.mean:.2f} us measured vs "
+        f"{bound:.1f} us software lower bound ({bound / broadcast.mean:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

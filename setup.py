@@ -1,0 +1,11 @@
+"""Setup shim for environments that install with legacy (non-PEP-517) tooling.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` and ``python setup.py develop`` work in
+offline environments whose setuptools/wheel combination cannot build PEP 660
+editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""Analytic models and bounds for software (unicast-based) multicast.
+
+The paper's headline comparison (§4) is against the *theoretical lower
+bound* for software-based multicast: delivering a message to ``d``
+destinations needs at least ``ceil(log2(d + 1))`` unicast phases, so
+accounting for startup latency alone the latency is at least
+``ceil(log2(d + 1)) * t_startup``.  With the paper's 10 µs startup and a 255
+destination broadcast that bound is 80 µs; the paper quotes 90 µs for the
+256-node network (rounding the destination count up to the node count) and
+measures SPAM under 14 µs — "a more than six-fold difference".
+
+Besides the pure lower bound, :func:`software_multicast_latency_model` adds
+an optional per-phase network term so that the executable binomial-tree
+baseline (measured on the simulator) can be sanity-checked against a simple
+closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..routing.unicast_multicast import minimum_phases
+
+__all__ = [
+    "software_multicast_lower_bound_us",
+    "software_multicast_latency_model",
+    "SoftwareBoundComparison",
+    "compare_against_bound",
+]
+
+
+def software_multicast_lower_bound_us(
+    num_destinations: int, startup_latency_us: float = 10.0
+) -> float:
+    """Startup-only lower bound for software multicast latency (microseconds)."""
+    return minimum_phases(num_destinations) * startup_latency_us
+
+
+def software_multicast_latency_model(
+    num_destinations: int,
+    startup_latency_us: float = 10.0,
+    per_phase_network_us: float = 0.0,
+) -> float:
+    """Simple closed-form software multicast latency model.
+
+    ``phases * (startup + per_phase_network)`` — the per-phase network term
+    models the wormhole transmission time of each phase's unicasts (the
+    paper's bound sets it to zero, which is what makes it a lower bound).
+    """
+    phases = minimum_phases(num_destinations)
+    return phases * (startup_latency_us + per_phase_network_us)
+
+
+@dataclass(frozen=True, slots=True)
+class SoftwareBoundComparison:
+    """Measured hardware-multicast latency versus the software lower bound."""
+
+    num_destinations: int
+    measured_spam_latency_us: float
+    software_lower_bound_us: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster SPAM is than the software lower bound."""
+        if self.measured_spam_latency_us <= 0:
+            return float("inf")
+        return self.software_lower_bound_us / self.measured_spam_latency_us
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for report tables."""
+        return {
+            "destinations": self.num_destinations,
+            "spam_latency_us": self.measured_spam_latency_us,
+            "software_bound_us": self.software_lower_bound_us,
+            "speedup": self.speedup,
+        }
+
+
+def compare_against_bound(
+    num_destinations: int,
+    measured_spam_latency_us: float,
+    startup_latency_us: float = 10.0,
+) -> SoftwareBoundComparison:
+    """Build the SPAM-vs-software-bound comparison for one measurement."""
+    return SoftwareBoundComparison(
+        num_destinations=num_destinations,
+        measured_spam_latency_us=measured_spam_latency_us,
+        software_lower_bound_us=software_multicast_lower_bound_us(
+            num_destinations, startup_latency_us
+        ),
+    )

@@ -1,0 +1,106 @@
+"""Parameter-sweep result containers.
+
+Each figure of the paper is a sweep over one parameter (number of
+destinations, arrival rate) producing one latency summary per parameter
+value and per series (network size, multicast degree).  The classes here
+hold those results in a structure that the report formatter and the
+benchmark harnesses can both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .stats import SampleSummary, summarize_samples
+
+__all__ = ["SweepPoint", "SweepSeries", "SweepResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One (x, summary) point of a sweep."""
+
+    x: float
+    summary: SampleSummary
+
+    @property
+    def mean(self) -> float:
+        """Mean observation at this point."""
+        return self.summary.mean
+
+
+@dataclass
+class SweepSeries:
+    """One labelled curve of a figure."""
+
+    label: str
+    points: list[SweepPoint] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, x: float, values: Sequence[float]) -> SweepPoint:
+        """Summarise ``values`` and append the point at ``x``."""
+        point = SweepPoint(x=x, summary=summarize_samples(list(values)))
+        self.points.append(point)
+        return point
+
+    def xs(self) -> list[float]:
+        """X coordinates in insertion order."""
+        return [point.x for point in self.points]
+
+    def means(self) -> list[float]:
+        """Mean values in insertion order."""
+        return [point.mean for point in self.points]
+
+    def spread(self) -> float:
+        """Max minus min of the means (used to check Figure 2's flatness)."""
+        values = self.means()
+        if not values:
+            return 0.0
+        return max(values) - min(values)
+
+    def max_mean(self) -> float:
+        """Largest mean over the series."""
+        return max(self.means()) if self.points else float("nan")
+
+
+@dataclass
+class SweepResult:
+    """A complete figure: several series over a common x-axis."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: list[SweepSeries] = field(default_factory=list)
+    parameters: dict = field(default_factory=dict)
+
+    def add_series(self, label: str, **metadata) -> SweepSeries:
+        """Create, register and return a new series."""
+        series = SweepSeries(label=label, metadata=dict(metadata))
+        self.series.append(series)
+        return series
+
+    def get_series(self, label: str) -> SweepSeries:
+        """Series with the given label (raises ``KeyError`` if missing)."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in sweep {self.name!r}")
+
+    def labels(self) -> list[str]:
+        """Labels of every series."""
+        return [series.label for series in self.series]
+
+    def rows(self) -> Iterable[dict]:
+        """Flat row view (one row per point) for tabular reports."""
+        for series in self.series:
+            for point in series.points:
+                row = {
+                    "series": series.label,
+                    self.x_label: point.x,
+                    self.y_label: point.summary.mean,
+                    "ci_low": point.summary.ci_low,
+                    "ci_high": point.summary.ci_high,
+                    "samples": point.summary.count,
+                }
+                yield row

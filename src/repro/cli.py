@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``repro-spam`` console script)
+exposes the library's main entry points without writing any Python:
+
+``topology``
+    Generate a paper-style irregular network, print its summary and
+    optionally save it to JSON.
+``figure2`` / ``figure3``
+    Regenerate the paper's figures at a chosen scale and print the series.
+``compare``
+    SPAM vs. software-multicast comparison (the §4 six-fold-difference claim).
+``verify``
+    Run the deadlock/livelock verification suite on a generated topology.
+``hotspot``
+    Static root-hot-spot analysis (§5) for growing destination counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.hotspot import root_traversal_probability
+from .analysis.report import format_table, series_side_by_side
+from .core.spam import SpamRouting
+from .experiments.common import SCALES
+from .experiments.figure2 import Figure2Config, default_destination_counts, run_figure2
+from .experiments.figure3 import Figure3Config, run_figure3
+from .experiments.software_comparison import SoftwareComparisonConfig, run_software_comparison
+from .topology.irregular import lattice_irregular_network
+from .topology.properties import summarize
+from .topology.serialization import save_network
+from .verification.cdg import build_spam_cdg
+from .verification.harness import stress_test_deadlock_freedom
+from .verification.reachability import check_unicast_reachability
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-spam`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spam",
+        description="SPAM (IPPS 1998) reproduction: topologies, figures, verification.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="smoke",
+        help="experiment scale (message length and sample counts)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topology = subparsers.add_parser("topology", help="generate and inspect an irregular network")
+    topology.add_argument("--switches", type=int, default=64)
+    topology.add_argument("--seed", type=int, default=0)
+    topology.add_argument("--save", type=str, default=None, help="write the network to a JSON file")
+
+    figure2 = subparsers.add_parser("figure2", help="latency vs number of destinations")
+    figure2.add_argument("--network-sizes", type=int, nargs="+", default=[64])
+    figure2.add_argument("--seed", type=int, default=7)
+
+    figure3 = subparsers.add_parser("figure3", help="latency vs arrival rate (mixed traffic)")
+    figure3.add_argument("--network-size", type=int, default=64)
+    figure3.add_argument("--degrees", type=int, nargs="+", default=[8, 16])
+    figure3.add_argument(
+        "--rates", type=float, nargs="+", default=[0.005, 0.02, 0.04],
+        help="per-processor arrival rates in messages per microsecond",
+    )
+    figure3.add_argument("--seed", type=int, default=7)
+
+    compare = subparsers.add_parser("compare", help="SPAM vs software multicast")
+    compare.add_argument("--network-size", type=int, default=64)
+    compare.add_argument("--destinations", type=int, nargs="+", default=[8, 32, 63])
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument(
+        "--bound-only", action="store_true",
+        help="skip executing the binomial software baseline (faster)",
+    )
+
+    verify = subparsers.add_parser("verify", help="deadlock/livelock verification")
+    verify.add_argument("--switches", type=int, default=32)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--rounds", type=int, default=2)
+
+    hotspot = subparsers.add_parser("hotspot", help="root hot-spot probability (paper §5)")
+    hotspot.add_argument("--switches", type=int, default=64)
+    hotspot.add_argument("--seed", type=int, default=0)
+    hotspot.add_argument("--destinations", type=int, nargs="+", default=[2, 8, 32, 63])
+    hotspot.add_argument("--samples", type=int, default=100)
+
+    return parser
+
+
+def _cmd_topology(args) -> int:
+    network = lattice_irregular_network(args.switches, seed=args.seed)
+    print(format_table([summarize(network).as_dict()]))
+    spam = SpamRouting.build(network)
+    print(f"spanning tree root: switch {spam.tree.root} (height {spam.tree.height()})")
+    print(f"channel labels: {spam.labeling.counts()}")
+    if args.save:
+        path = save_network(network, args.save)
+        print(f"network written to {path}")
+    return 0
+
+
+def _cmd_figure2(args, scale) -> int:
+    config = Figure2Config(
+        network_sizes=tuple(args.network_sizes),
+        destination_counts={
+            size: default_destination_counts(size, points=6) for size in args.network_sizes
+        },
+        scale=scale,
+        topology_seed=args.seed,
+    )
+    result = run_figure2(config)
+    print(series_side_by_side(result))
+    return 0
+
+
+def _cmd_figure3(args, scale) -> int:
+    config = Figure3Config(
+        network_size=args.network_size,
+        multicast_degrees=tuple(args.degrees),
+        arrival_rates_per_us=tuple(args.rates),
+        scale=scale,
+        topology_seed=args.seed,
+    )
+    result = run_figure3(config)
+    print(series_side_by_side(result))
+    return 0
+
+
+def _cmd_compare(args, scale) -> int:
+    config = SoftwareComparisonConfig(
+        network_size=args.network_size,
+        destination_counts=tuple(args.destinations),
+        scale=scale,
+        topology_seed=args.seed,
+        run_software_baseline=not args.bound_only,
+    )
+    rows = run_software_comparison(config)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    network = lattice_irregular_network(args.switches, seed=args.seed)
+    spam = SpamRouting.build(network)
+    cdg = build_spam_cdg(spam)
+    print(f"channel dependency graph: {cdg.num_dependencies} dependencies, "
+          f"acyclic={cdg.is_acyclic()}")
+    reach = check_unicast_reachability(spam, sample_pairs=200)
+    print(f"reachability: {reach.pairs_checked} pairs checked, failures={len(reach.failures)}")
+    results = stress_test_deadlock_freedom(network, spam, rounds=args.rounds)
+    delivered = sum(result.messages_completed for result in results)
+    submitted = sum(result.messages_submitted for result in results)
+    deadlocks = sum(1 for result in results if result.deadlocked)
+    print(f"stress simulation: {delivered}/{submitted} messages delivered, "
+          f"{deadlocks} deadlocked rounds")
+    ok = cdg.is_acyclic() and reach.ok and deadlocks == 0 and delivered == submitted
+    print("VERIFICATION PASSED" if ok else "VERIFICATION FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_hotspot(args) -> int:
+    network = lattice_irregular_network(args.switches, seed=args.seed)
+    spam = SpamRouting.build(network)
+    rows = []
+    for count in args.destinations:
+        probability = root_traversal_probability(
+            spam, num_destinations=count, samples=args.samples, seed=args.seed
+        )
+        rows.append({"destinations": count, "P(LCA is root)": round(probability, 3)})
+    print(format_table(rows))
+    print("(the paper's §5 hot-spot concern: this probability grows with the "
+          "destination count)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    if args.command == "topology":
+        return _cmd_topology(args)
+    if args.command == "figure2":
+        return _cmd_figure2(args, scale)
+    if args.command == "figure3":
+        return _cmd_figure3(args, scale)
+    if args.command == "compare":
+        return _cmd_compare(args, scale)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "hotspot":
+        return _cmd_hotspot(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Routing-algorithm interface shared by SPAM and the baseline algorithms.
+
+The flit-level simulator is routing-algorithm agnostic: it hands every
+arriving header to a :class:`RoutingAlgorithm` and receives a
+:class:`~repro.core.decision.RoutingDecision` back.  The algorithm may stash
+per-message state (for SPAM: the destination bitmask and the LCA) in the
+message's ``routing_data`` dictionary during :meth:`RoutingAlgorithm.prepare`.
+
+Keeping this interface independent of the simulator lets the verification
+utilities drive the same algorithms over the static topology (to enumerate
+the channel dependency relation) and lets tests exercise routing logic
+without running a simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Protocol, Sequence, runtime_checkable
+
+from .decision import RoutingDecision
+from ..topology.channels import Channel
+
+__all__ = ["MessageLike", "RoutingAlgorithm"]
+
+
+@runtime_checkable
+class MessageLike(Protocol):
+    """The subset of the simulator's message object routing algorithms see."""
+
+    #: Source processor node id.
+    source: int
+    #: Destination processor node ids (one entry for a unicast).
+    destinations: tuple[int, ...]
+    #: Scratch space owned by the routing algorithm.
+    routing_data: dict
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Abstract wormhole routing algorithm.
+
+    Subclasses must be deterministic given the message and the incoming
+    channel (any randomness must come from an explicitly seeded selection
+    function) so that simulations are reproducible.
+    """
+
+    #: Short machine-readable name used in reports and benchmark labels.
+    name: str = "abstract"
+
+    #: Whether the algorithm can deliver a message to several destinations
+    #: with a single worm.  Algorithms with ``False`` here are only handed
+    #: unicast messages; multi-destination traffic must be decomposed by a
+    #: software scheme such as
+    #: :class:`repro.routing.unicast_multicast.UnicastMulticastScheduler`.
+    supports_multicast: bool = False
+
+    def prepare(self, message: MessageLike) -> None:
+        """Attach per-message routing state before injection (optional)."""
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        message: MessageLike,
+        switch: int,
+        in_channel: Channel | None,
+    ) -> RoutingDecision:
+        """Routing decision for ``message``'s header arriving at ``switch``.
+
+        Parameters
+        ----------
+        message:
+            The message being routed.
+        switch:
+            The switch at which the header has just arrived.
+        in_channel:
+            The channel on which the header arrived, or ``None`` when the
+            header is at the source's switch having just been injected
+            (the injection channel is implicit; it is always an up channel).
+
+        Returns
+        -------
+        RoutingDecision
+            Either an ordered one-of candidate list or an all-of channel set.
+        """
+
+    def validate_destinations(self, message: MessageLike) -> None:
+        """Reject messages the algorithm cannot route (default: multicast)."""
+        if len(message.destinations) > 1 and not self.supports_multicast:
+            raise NotImplementedError(
+                f"{self.name} does not support multi-destination messages"
+            )
+
+    # ------------------------------------------------------------------
+    # Static path enumeration (used by tests, examples and baselines)
+    # ------------------------------------------------------------------
+    def greedy_unicast_path(
+        self,
+        message: MessageLike,
+        start_switch: int,
+        max_hops: int = 10_000,
+    ) -> list[Channel]:
+        """Follow the algorithm's most-preferred choice hop by hop.
+
+        This produces the path a worm would take through an otherwise idle
+        network (no contention): at every switch the first channel of the
+        decision is taken.  Useful for path-length analyses and tests; the
+        simulator itself never calls this.
+        """
+        from ..errors import LivelockError  # local import to avoid cycles
+
+        path: list[Channel] = []
+        switch = start_switch
+        in_channel: Channel | None = None
+        for _ in range(max_hops):
+            decision = self.decide(message, switch, in_channel)
+            channel = decision.channels[0]
+            path.append(channel)
+            if channel.dst in message.destinations:
+                return path
+            in_channel = channel
+            switch = channel.dst
+        raise LivelockError(
+            f"{self.name} did not reach {message.destinations} within {max_hops} hops"
+        )

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to distinguish configuration problems from run-time
+simulation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology is malformed or violates model rules.
+
+    Examples include exceeding a switch's port count, connecting two
+    processors directly, or querying a channel that does not exist.
+    """
+
+
+class ConnectivityError(TopologyError):
+    """Raised when an operation requires a connected network but the network
+    (or the relevant sub-network) is disconnected."""
+
+
+class SpanningTreeError(ReproError):
+    """Raised when a spanning tree is inconsistent with its network.
+
+    For instance, when a parent map references an edge that does not exist,
+    or when the tree does not span every vertex of the network.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a routing function cannot produce a legal output channel.
+
+    A correct SPAM configuration never raises this for reachable
+    destinations; seeing it indicates either a disconnected topology or an
+    internal inconsistency between the labelling and the routing function.
+    """
+
+
+class SelectionError(ReproError):
+    """Raised when a selection function is asked to choose from an empty
+    candidate set."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the flit-level simulator."""
+
+
+class DeadlockError(SimulationError):
+    """Raised (or recorded) when the simulator detects a deadlock.
+
+    A deadlock is detected either when the event queue drains while messages
+    are still undelivered, or when the wait-for graph between in-flight
+    messages contains a cycle.
+    """
+
+
+class LivelockError(SimulationError):
+    """Raised when a worm exceeds the maximum permitted number of hops,
+    indicating that the routing function is not making progress."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation or experiment configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a traffic workload specification is invalid, e.g. a
+    multicast with zero destinations or a destination equal to the source."""
+
+
+class VerificationError(ReproError):
+    """Raised by the verification utilities when a claimed property
+    (deadlock freedom, reachability) is found to be violated."""

@@ -1,0 +1,175 @@
+"""Ablation studies on SPAM's design choices.
+
+The paper's §3 and §5 leave several knobs open — the selection function, the
+spanning-tree root, the input-buffer depth, and the destination-partitioning
+extension.  These drivers quantify each knob's effect with the same
+single-multicast workload as Figure 2, so the ablation results are directly
+comparable to the headline figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.partition import partition_destinations
+from ..core.selection import make_selection
+from ..core.spam import SpamRouting
+from ..simulator.engine import WormholeSimulator
+from ..topology.irregular import lattice_irregular_network
+from ..traffic.patterns import uniform_destinations, uniform_source
+from ..traffic.workload import single_multicast_workload
+from .common import (
+    ExperimentScale,
+    current_scale,
+    paper_config,
+    run_workload_collect_latencies,
+)
+
+__all__ = [
+    "AblationConfig",
+    "run_buffer_depth_ablation",
+    "run_selection_ablation",
+    "run_root_ablation",
+    "run_partition_ablation",
+]
+
+
+@dataclass
+class AblationConfig:
+    """Shared parameters of the ablation drivers."""
+
+    network_size: int = 64
+    num_destinations: int = 32
+    scale: ExperimentScale | None = None
+    topology_seed: int = 7
+    workload_seed: int = 41
+
+    def resolved_scale(self) -> ExperimentScale:
+        return self.scale or current_scale()
+
+
+def _network(config: AblationConfig):
+    return lattice_irregular_network(config.network_size, seed=config.topology_seed)
+
+
+def _single_multicast_latency(network, routing, config: AblationConfig, sim_config) -> float:
+    scale = config.resolved_scale()
+    workload = single_multicast_workload(
+        network,
+        num_destinations=min(config.num_destinations, network.num_processors - 1),
+        samples=scale.samples_per_point,
+        seed=config.workload_seed,
+    )
+    latencies = run_workload_collect_latencies(
+        network, routing, workload, sim_config, from_creation=False
+    )
+    return sum(latencies) / len(latencies)
+
+
+def run_buffer_depth_ablation(
+    depths: tuple[int, ...] = (1, 2, 4, 8), config: AblationConfig | None = None
+) -> list[dict]:
+    """Effect of input/output buffer depth on single-multicast latency.
+
+    The paper (§5) conjectures that larger input buffers could further
+    reduce latency while stressing that correctness never requires more than
+    one flit of buffering.
+    """
+    config = config or AblationConfig()
+    network = _network(config)
+    routing = SpamRouting.build(network)
+    rows = []
+    for depth in depths:
+        sim_config = paper_config(
+            config.resolved_scale(), input_buffer_depth=depth, output_buffer_depth=depth
+        )
+        latency = _single_multicast_latency(network, routing, config, sim_config)
+        rows.append({"buffer_depth": depth, "latency_us": latency})
+    return rows
+
+
+def run_selection_ablation(
+    strategies: tuple[str, ...] = ("distance-to-lca", "first-allowed", "random"),
+    config: AblationConfig | None = None,
+) -> list[dict]:
+    """Effect of the selection function on single-multicast latency."""
+    config = config or AblationConfig()
+    network = _network(config)
+    sim_config = paper_config(config.resolved_scale())
+    rows = []
+    for strategy in strategies:
+        selection = make_selection(strategy, network, seed=config.workload_seed)
+        routing = SpamRouting.build(network, selection=selection)
+        latency = _single_multicast_latency(network, routing, config, sim_config)
+        rows.append({"selection": strategy, "latency_us": latency})
+    return rows
+
+
+def run_root_ablation(
+    strategies: tuple[str, ...] = ("center", "max-degree", "first"),
+    config: AblationConfig | None = None,
+) -> list[dict]:
+    """Effect of the spanning-tree root choice on single-multicast latency."""
+    config = config or AblationConfig()
+    network = _network(config)
+    sim_config = paper_config(config.resolved_scale())
+    rows = []
+    for strategy in strategies:
+        routing = SpamRouting.build(network, root_strategy=strategy)
+        latency = _single_multicast_latency(network, routing, config, sim_config)
+        rows.append(
+            {
+                "root_strategy": strategy,
+                "root": routing.tree.root,
+                "tree_height": routing.tree.height(),
+                "latency_us": latency,
+            }
+        )
+    return rows
+
+
+def run_partition_ablation(
+    group_counts: tuple[int, ...] = (1, 2, 4),
+    strategy: str = "contiguous",
+    config: AblationConfig | None = None,
+) -> list[dict]:
+    """The paper's §5 destination-partitioning extension.
+
+    A broadcast-sized destination set is split into ``k`` groups of
+    contiguous (tree-order) destinations; one multicast worm is sent per
+    group, all submitted at the same instant from the same source.  The
+    reported latency is the time until the last destination of *any* group
+    has been reached (i.e. the completion of the whole logical broadcast).
+    Splitting trades extra startups for less root contention.
+    """
+    config = config or AblationConfig()
+    network = _network(config)
+    routing = SpamRouting.build(network)
+    sim_config = paper_config(config.resolved_scale())
+    rng = np.random.default_rng(config.workload_seed)
+    source = uniform_source(network, rng)
+    destinations = uniform_destinations(
+        network, source, min(config.num_destinations, network.num_processors - 1), rng
+    )
+
+    rows = []
+    for groups in group_counts:
+        partitions = partition_destinations(routing.tree, destinations, groups, strategy)
+        simulator = WormholeSimulator(network, routing, sim_config)
+        messages = [
+            simulator.submit_message(source, part, at_ns=0, metadata={"group": index})
+            for index, part in enumerate(partitions)
+        ]
+        simulator.run()
+        completion = max(message.completed_ns for message in messages)
+        rows.append(
+            {
+                "groups": len(partitions),
+                "strategy": strategy,
+                "latency_us": completion / 1000.0,
+                "worms": len(partitions),
+            }
+        )
+    return rows

@@ -1,0 +1,103 @@
+"""Figure 2: latency versus number of destinations for a single multicast.
+
+The paper measures the latency of one multicast (no background traffic) as
+the destination count sweeps from 1 to the network size, in 128- and
+256-switch irregular networks.  The result is that "message latency is
+essentially independent of the number of destinations and largely
+independent of the size of the network": both curves are flat between
+roughly 11 and 14 µs.
+
+:func:`run_figure2` regenerates the figure as a
+:class:`~repro.analysis.sweeps.SweepResult` with one series per network
+size.  The latency reported is the paper's metric — elapsed time from
+message startup at the source until the last flit reaches the last
+destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.sweeps import SweepResult
+from ..traffic.workload import single_multicast_workload
+from .common import (
+    ExperimentScale,
+    build_network_and_routing,
+    current_scale,
+    paper_config,
+    run_workload_collect_latencies,
+)
+
+__all__ = ["Figure2Config", "default_destination_counts", "run_figure2"]
+
+
+def default_destination_counts(num_switches: int, points: int = 8) -> list[int]:
+    """Destination counts to sweep for a network of ``num_switches`` processors.
+
+    The paper sweeps from 1 destination up to (nearly) a full broadcast; we
+    use a geometric-ish ladder (1, 2, 4, ... , n-1) capped at ``points``
+    values so that the default benchmark stays affordable while still
+    covering the full range of the x-axis.
+    """
+    counts: list[int] = []
+    value = 1
+    while value < num_switches - 1 and len(counts) < points - 1:
+        counts.append(value)
+        value *= 2
+    counts.append(num_switches - 1)  # full broadcast (every other processor)
+    return sorted(set(counts))
+
+
+@dataclass
+class Figure2Config:
+    """Parameters of the Figure 2 reproduction."""
+
+    network_sizes: tuple[int, ...] = (128, 256)
+    destination_counts: dict[int, list[int]] = field(default_factory=dict)
+    scale: ExperimentScale | None = None
+    topology_seed: int = 7
+    workload_seed: int = 11
+    root_strategy: str = "center"
+
+    def resolved_scale(self) -> ExperimentScale:
+        return self.scale or current_scale()
+
+    def counts_for(self, num_switches: int) -> list[int]:
+        if num_switches in self.destination_counts:
+            return self.destination_counts[num_switches]
+        return default_destination_counts(num_switches)
+
+
+def run_figure2(config: Figure2Config | None = None) -> SweepResult:
+    """Regenerate Figure 2 and return its sweep data."""
+    config = config or Figure2Config()
+    scale = config.resolved_scale()
+    result = SweepResult(
+        name="figure2-latency-vs-destinations",
+        x_label="destinations",
+        y_label="latency_us",
+        parameters={
+            "scale": scale.name,
+            "message_length_flits": scale.message_length_flits,
+            "samples_per_point": scale.samples_per_point,
+            "startup_latency_us": 10.0,
+        },
+    )
+    sim_config = paper_config(scale)
+    for size in config.network_sizes:
+        network, routing = build_network_and_routing(
+            size, seed=config.topology_seed, root_strategy=config.root_strategy
+        )
+        series = result.add_series(f"{size}-switch network", num_switches=size)
+        for count in config.counts_for(size):
+            workload = single_multicast_workload(
+                network,
+                num_destinations=count,
+                samples=scale.samples_per_point,
+                seed=config.workload_seed + count,
+            )
+            latencies = run_workload_collect_latencies(
+                network, routing, workload, sim_config, from_creation=False
+            )
+            series.add(count, latencies)
+    return result

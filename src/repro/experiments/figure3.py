@@ -1,0 +1,88 @@
+"""Figure 3: latency versus average arrival rate under mixed traffic.
+
+The paper's second experiment runs 90 % unicast / 10 % multicast traffic in
+a 128-switch irregular network, with multicast degrees of 8, 16, 32 and 64
+destinations and negative-binomial arrivals of varying average rate.  The
+result is that "even in relatively heavy network traffic, latency remains
+largely independent of the number of destinations per multicast": all four
+curves lie nearly on top of each other, rising from the no-load latency
+(≈ 10–20 µs) towards saturation as the arrival rate grows.
+
+:func:`run_figure3` regenerates the figure as a
+:class:`~repro.analysis.sweeps.SweepResult` with one series per multicast
+degree.  Latency is measured from message creation (so source queueing under
+load is included, which is what produces the saturation behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.sweeps import SweepResult
+from ..traffic.workload import mixed_traffic_workload
+from .common import (
+    ExperimentScale,
+    build_network_and_routing,
+    current_scale,
+    paper_config,
+    run_workload_collect_latencies,
+)
+
+__all__ = ["Figure3Config", "run_figure3"]
+
+
+@dataclass
+class Figure3Config:
+    """Parameters of the Figure 3 reproduction."""
+
+    network_size: int = 128
+    multicast_degrees: tuple[int, ...] = (8, 16, 32, 64)
+    #: Average per-processor arrival rates in messages per microsecond
+    #: (the paper sweeps 0.005 – 0.04).
+    arrival_rates_per_us: tuple[float, ...] = (0.005, 0.01, 0.02, 0.03, 0.04)
+    multicast_fraction: float = 0.1
+    scale: ExperimentScale | None = None
+    topology_seed: int = 7
+    workload_seed: int = 23
+    root_strategy: str = "center"
+
+    def resolved_scale(self) -> ExperimentScale:
+        return self.scale or current_scale()
+
+
+def run_figure3(config: Figure3Config | None = None) -> SweepResult:
+    """Regenerate Figure 3 and return its sweep data."""
+    config = config or Figure3Config()
+    scale = config.resolved_scale()
+    network, routing = build_network_and_routing(
+        config.network_size, seed=config.topology_seed, root_strategy=config.root_strategy
+    )
+    sim_config = paper_config(scale)
+    result = SweepResult(
+        name="figure3-latency-vs-arrival-rate",
+        x_label="arrival_rate_per_us",
+        y_label="latency_us",
+        parameters={
+            "scale": scale.name,
+            "network_size": config.network_size,
+            "message_length_flits": scale.message_length_flits,
+            "messages_per_point": scale.messages_per_rate_point,
+            "multicast_fraction": config.multicast_fraction,
+        },
+    )
+    for degree in config.multicast_degrees:
+        series = result.add_series(f"{degree} destinations", multicast_degree=degree)
+        for rate in config.arrival_rates_per_us:
+            workload = mixed_traffic_workload(
+                network,
+                rate_per_us=rate,
+                multicast_destinations=degree,
+                num_messages=scale.messages_per_rate_point,
+                multicast_fraction=config.multicast_fraction,
+                seed=config.workload_seed + degree,
+            )
+            latencies = run_workload_collect_latencies(
+                network, routing, workload, sim_config, from_creation=True
+            )
+            series.add(rate, latencies)
+    return result

@@ -1,0 +1,32 @@
+"""Routing algorithms: the abstract interface consumed by the simulator,
+the classic up*/down* unicast baseline, the software (unicast-based)
+multicast baseline and routing-table materialisation utilities.
+
+SPAM itself lives in :mod:`repro.core`; this package hosts everything the
+paper compares against or builds upon.
+"""
+
+from .base import MessageLike, RoutingAlgorithm
+from .naive import NaiveMinimalRouting
+from .tables import RoutingTable, RoutingTableEntry, build_unicast_table
+from .unicast_multicast import (
+    ForwardingStep,
+    UnicastMulticastScheduler,
+    binomial_schedule,
+    minimum_phases,
+)
+from .updown import UpDownRouting
+
+__all__ = [
+    "RoutingAlgorithm",
+    "MessageLike",
+    "UpDownRouting",
+    "NaiveMinimalRouting",
+    "UnicastMulticastScheduler",
+    "ForwardingStep",
+    "binomial_schedule",
+    "minimum_phases",
+    "RoutingTable",
+    "RoutingTableEntry",
+    "build_unicast_table",
+]

@@ -1,0 +1,13 @@
+"""Compatibility re-export of the routing-algorithm interface.
+
+The abstract :class:`~repro.core.interface.RoutingAlgorithm` lives in
+:mod:`repro.core.interface` (so that the dependency graph between
+sub-packages stays acyclic: ``topology → spanning → core → routing →
+simulator``).  This module re-exports it under the historically natural
+location ``repro.routing.base`` for users who think of the interface as part
+of the routing-algorithm collection.
+"""
+
+from ..core.interface import MessageLike, RoutingAlgorithm
+
+__all__ = ["MessageLike", "RoutingAlgorithm"]

@@ -1,0 +1,80 @@
+"""Naive minimal routing — a deliberately unprotected baseline.
+
+This algorithm routes every worm along channels that strictly decrease the
+hop distance to the destination, with *no* ordering discipline over the
+channels.  On topologies with cycles (rings, tori, most irregular networks)
+this is the textbook recipe for deadlock: worms can acquire channels around
+a cycle and wait for each other forever.
+
+It exists for two reasons:
+
+* the deadlock tests use it to demonstrate that the simulator's deadlock
+  detector actually fires (so the absence of deadlocks in the SPAM runs is
+  meaningful evidence, not a blind spot);
+* the verification utilities use it as the canonical example of a routing
+  relation whose channel dependency graph is cyclic.
+
+Never use it for performance experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.decision import RoutingDecision, one_of
+from ..core.interface import MessageLike, RoutingAlgorithm
+from ..errors import RoutingError
+from ..topology.channels import Channel
+from ..topology.network import Network
+
+__all__ = ["NaiveMinimalRouting"]
+
+
+class NaiveMinimalRouting(RoutingAlgorithm):
+    """Shortest-path adaptive routing with no deadlock avoidance."""
+
+    name = "naive-minimal"
+    supports_multicast = False
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._distance_to: dict[int, dict[int, int]] = {}
+
+    def _distances(self, destination: int) -> dict[int, int]:
+        """Hop distances from every node to ``destination`` (cached)."""
+        cached = self._distance_to.get(destination)
+        if cached is not None:
+            return cached
+        dist = {destination: 0}
+        queue = deque([destination])
+        while queue:
+            u = queue.popleft()
+            for v in self.network.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        self._distance_to[destination] = dist
+        return dist
+
+    def decide(
+        self,
+        message: MessageLike,
+        switch: int,
+        in_channel: Channel | None,
+    ) -> RoutingDecision:
+        """Offer every channel that strictly reduces the distance to go."""
+        self.validate_destinations(message)
+        destination = message.destinations[0]
+        dist = self._distances(destination)
+        here = dist.get(switch)
+        if here is None:
+            raise RoutingError(f"destination {destination} unreachable from {switch}")
+        candidates = [
+            channel
+            for channel in self.network.channels_from(switch)
+            if dist.get(channel.dst, float("inf")) < here
+        ]
+        if not candidates:
+            raise RoutingError(f"no minimal channel from {switch} towards {destination}")
+        candidates.sort(key=lambda channel: (dist[channel.dst], channel.cid))
+        return one_of(candidates)

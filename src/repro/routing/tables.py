@@ -1,0 +1,98 @@
+"""Precomputed routing-table dumps.
+
+Hardware routers in switch-based networks (e.g. Autonet, Myrinet switches)
+implement routing with per-switch tables rather than by evaluating the
+routing function on the fly.  This module materialises SPAM's routing
+relation into explicit tables, which serves three purposes:
+
+* it documents exactly what a hardware implementation would need to store;
+* it gives the verification utilities a finite enumeration of the routing
+  relation to build the channel dependency graph from;
+* it allows tests to cross-check the on-the-fly routing function against an
+  independently constructed table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.phases import Phase
+from ..core.spam import SpamRouting
+from ..core.unicast import unicast_options
+
+__all__ = ["RoutingTableEntry", "RoutingTable", "build_unicast_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingTableEntry:
+    """Allowed output channels for one (switch, incoming phase, target) triple."""
+
+    switch: int
+    incoming_phase: Phase
+    target: int
+    channel_ids: tuple[int, ...]
+
+
+@dataclass
+class RoutingTable:
+    """A full unicast routing table for one SPAM configuration.
+
+    Entries are indexed by ``(switch, incoming_phase, target)``.  Targets
+    include every processor (unicast destinations) and every switch
+    (possible LCA targets of multicasts).
+    """
+
+    entries: dict[tuple[int, Phase, int], RoutingTableEntry] = field(default_factory=dict)
+
+    def lookup(self, switch: int, incoming_phase: Phase, target: int) -> RoutingTableEntry:
+        """Table entry for the given triple (raises ``KeyError`` if absent)."""
+        return self.entries[(switch, incoming_phase, target)]
+
+    def channels_for(self, switch: int, incoming_phase: Phase, target: int) -> tuple[int, ...]:
+        """Allowed output channel ids, or an empty tuple when none exist."""
+        entry = self.entries.get((switch, incoming_phase, target))
+        return entry.channel_ids if entry is not None else ()
+
+    @property
+    def size(self) -> int:
+        """Number of table entries (a proxy for hardware table cost)."""
+        return len(self.entries)
+
+    def max_fanout(self) -> int:
+        """The largest number of alternatives in any entry (adaptivity degree)."""
+        return max((len(e.channel_ids) for e in self.entries.values()), default=0)
+
+
+def build_unicast_table(routing: SpamRouting, targets: list[int] | None = None) -> RoutingTable:
+    """Enumerate SPAM's unicast routing relation into a :class:`RoutingTable`.
+
+    Parameters
+    ----------
+    routing:
+        A configured :class:`~repro.core.spam.SpamRouting` instance.
+    targets:
+        Restrict the table to these target nodes (defaults to every node of
+        the network, i.e. all processors and all potential LCA switches).
+    """
+    network = routing.network
+    labeling = routing.labeling
+    ancestry = routing.ancestry
+    if targets is None:
+        targets = list(network.nodes())
+    table = RoutingTable()
+    for switch in network.switches():
+        for phase in (Phase.UP, Phase.DOWN_CROSS, Phase.DOWN_TREE):
+            for target in targets:
+                if target == switch:
+                    continue
+                options = unicast_options(labeling, ancestry, switch, phase, target)
+                if not options:
+                    continue
+                entry = RoutingTableEntry(
+                    switch=switch,
+                    incoming_phase=phase,
+                    target=target,
+                    channel_ids=tuple(sorted(option.channel.cid for option in options)),
+                )
+                table.entries[(switch, phase, target)] = entry
+    return table

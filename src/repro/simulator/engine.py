@@ -1,0 +1,354 @@
+"""The flit-level wormhole simulation engine.
+
+:class:`WormholeSimulator` wires a network, a routing algorithm and a
+configuration into an event-driven flit-level simulation:
+
+* processors submit messages through their :class:`~repro.simulator.router.SourceInterface`
+  (startup latency, serialised sends, flit injection);
+* switches host :class:`~repro.simulator.router.WormSegment` state machines
+  (router setup latency, routing decision, OCRQ requests, atomic channel
+  acquisition, asynchronous flit replication with bubbles);
+* links carry one flit per ``channel_latency_ns`` between output and input
+  buffers;
+* processors consume flits immediately and record per-destination delivery
+  times.
+
+The engine is deliberately policy-free: all routing behaviour comes from the
+:class:`~repro.core.interface.RoutingAlgorithm` passed in, which is how SPAM,
+the up*/down* baseline and deliberately broken algorithms (for the deadlock
+tests) all run on the same substrate.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Iterable, Sequence
+
+from ..core.interface import RoutingAlgorithm
+from ..core.multicast import normalize_destinations
+from ..errors import ConfigurationError, DeadlockError, LivelockError, SimulationError
+from ..topology.network import Network
+from .config import SimulationConfig
+from .deadlock import DeadlockReport, diagnose
+from .events import EventQueue
+from .flit import Flit
+from .links import LinkState
+from .message import Message
+from .router import SourceInterface, WormSegment
+from .stats import ChannelRecord, SimulationStats
+from .trace import Trace
+
+__all__ = ["WormholeSimulator"]
+
+#: Signature of a per-destination delivery callback.
+DeliveryCallback = Callable[[Message, int, int], None]
+#: Signature of a message-completion callback.
+CompletionCallback = Callable[[Message], None]
+
+
+class WormholeSimulator:
+    """Event-driven flit-level wormhole simulator.
+
+    Parameters
+    ----------
+    network:
+        The switch-based network to simulate.
+    routing:
+        The routing algorithm deciding output channels for every header.
+    config:
+        Latency / sizing parameters; defaults to the paper's configuration.
+
+    Example
+    -------
+    >>> from repro.topology import figure1_network
+    >>> from repro.core import SpamRouting
+    >>> fixture = figure1_network()
+    >>> spam = SpamRouting.build(fixture.network, root=fixture.root)
+    >>> sim = WormholeSimulator(fixture.network, spam)
+    >>> message = sim.submit_message(fixture.source, fixture.destinations)
+    >>> stats = sim.run()
+    >>> message.is_complete
+    True
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        routing: RoutingAlgorithm,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        network.require_connected()
+        self.network = network
+        self.routing = routing
+        self.config = config or SimulationConfig()
+        self.events = EventQueue()
+        self.links: list[LinkState] = [
+            LinkState(
+                channel,
+                latency_ns=self.config.channel_latency_ns,
+                output_depth=self.config.output_buffer_depth,
+                input_depth=self.config.input_buffer_depth,
+            )
+            for channel in network.channels()
+        ]
+        self.sources: dict[int, SourceInterface] = {}
+        for processor in network.processors():
+            injection = self.links[network.injection_channel(processor).cid]
+            self.sources[processor] = SourceInterface(self, processor, injection)
+        self.messages: dict[int, Message] = {}
+        self.stats = SimulationStats()
+        self.trace: Trace | None = Trace() if self.config.trace else None
+        self._segments: set[WormSegment] = set()
+        self._next_mid = 0
+        self.delivery_callbacks: list[DeliveryCallback] = []
+        self.completion_callbacks: list[CompletionCallback] = []
+
+    # ------------------------------------------------------------------
+    # Time and scheduling helpers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self.events.now
+
+    def schedule_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay_ns`` from the current time."""
+        self.events.schedule_after(delay_ns, callback)
+
+    def trace_event(self, kind: str, **fields) -> None:
+        """Record a trace event (no-op unless tracing is enabled)."""
+        if self.trace is not None:
+            self.trace.record(self.now, kind, **fields)
+
+    # ------------------------------------------------------------------
+    # Workload interface
+    # ------------------------------------------------------------------
+    def submit_message(
+        self,
+        source: int,
+        destinations: Sequence[int] | Iterable[int],
+        at_ns: int | None = None,
+        length_flits: int | None = None,
+        metadata: dict | None = None,
+    ) -> Message:
+        """Create a message and hand it to the source processor at ``at_ns``.
+
+        Parameters
+        ----------
+        source:
+            Source processor node id.
+        destinations:
+            One or more destination processor node ids.
+        at_ns:
+            Arrival time of the send request at the source network interface
+            (defaults to the current simulation time).
+        length_flits:
+            Worm length; defaults to the configuration's message length.
+        metadata:
+            Free-form annotations copied onto the message.
+        """
+        if not self.network.is_processor(source):
+            raise ConfigurationError(f"source {source} is not a processor")
+        dests = normalize_destinations(self.network, source, destinations)
+        self.routing.validate_destinations(_DestinationView(source, dests))
+        at = self.now if at_ns is None else max(at_ns, self.now)
+        message = Message(
+            mid=self._next_mid,
+            source=source,
+            destinations=dests,
+            length_flits=length_flits or self.config.message_length_flits,
+            created_ns=at,
+        )
+        self._next_mid += 1
+        if metadata:
+            message.metadata.update(metadata)
+        self.routing.prepare(message)
+        self.messages[message.mid] = message
+        self.stats.messages_submitted += 1
+        self.events.schedule(at, partial(self.sources[source].submit, message))
+        self.trace_event("submit", message=message.mid, source=source, destinations=dests)
+        return message
+
+    def submit_broadcast(self, source: int, at_ns: int | None = None) -> Message:
+        """Convenience wrapper: multicast from ``source`` to every other processor."""
+        destinations = [p for p in self.network.processors() if p != source]
+        return self.submit_message(source, destinations, at_ns=at_ns)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until_ns: int | None = None) -> SimulationStats:
+        """Process events until the queue drains (or ``until_ns`` is reached).
+
+        When the queue drains while messages are still incomplete and
+        deadlock detection is enabled, a :class:`~repro.errors.DeadlockError`
+        is raised carrying a :class:`~repro.simulator.deadlock.DeadlockReport`.
+        """
+        events = self.events
+        while not events.is_empty:
+            next_time = events.next_time()
+            if until_ns is not None and next_time is not None and next_time > until_ns:
+                break
+            _, callback = events.pop()
+            callback()
+        self.stats.end_time_ns = self.now
+        if until_ns is None and self.config.deadlock_detection:
+            incomplete = [m for m in self.messages.values() if not m.is_complete]
+            if incomplete:
+                report = diagnose(self)
+                error = DeadlockError(
+                    "simulation stalled with undelivered messages\n" + report.describe()
+                )
+                error.report = report  # type: ignore[attr-defined]
+                raise error
+        if self.config.collect_channel_stats:
+            self._finalise_channel_stats()
+        return self.stats
+
+    def run_for(self, duration_ns: int) -> SimulationStats:
+        """Run until ``now + duration_ns`` (partial runs skip deadlock checks)."""
+        return self.run(until_ns=self.now + duration_ns)
+
+    # ------------------------------------------------------------------
+    # Link machinery
+    # ------------------------------------------------------------------
+    def try_start_transfer(self, link: LinkState) -> None:
+        """Put the head flit of ``link``'s output buffer on the wire if possible."""
+        if not link.can_start_transfer():
+            return
+        link.busy = True
+        if self.config.collect_channel_stats:
+            link.mark_utilisation_start(self.now)
+        self.events.schedule_after(link.latency_ns, partial(self._complete_transfer, link))
+
+    def _complete_transfer(self, link: LinkState) -> None:
+        """A flit finishes crossing ``link``: hand it to the receiving side."""
+        flit = link.out_buffer.pop()
+        link.busy = False
+        self.stats.flit_hops += 1
+        if self.config.collect_channel_stats:
+            if flit.is_bubble:
+                link.bubble_flits_carried += 1
+            else:
+                link.data_flits_carried += 1
+            link.mark_utilisation_end(self.now)
+
+        destination = link.channel.dst
+        if self.network.is_processor(destination):
+            self._consume_at_processor(link, flit, destination)
+        elif flit.is_bubble and link.sink_segment is None:
+            # A bubble that arrives after its worm segment has already
+            # finished carries no information; absorbing it keeps the
+            # single-flit input buffer available for the next worm.
+            pass
+        else:
+            link.in_buffer.push(flit)
+            if flit.is_head:
+                self._handle_head_at_switch(link, flit, destination)
+            else:
+                segment = link.sink_segment
+                if segment is not None:
+                    segment.on_flit_available()
+                elif flit.is_data:
+                    raise SimulationError(
+                        f"flit of message {flit.message_id} arrived at switch "
+                        f"{destination} with no active segment"
+                    )
+
+        # The output-buffer slot freed by this transfer lets the feeder (the
+        # upstream segment or the source NI) push its next flit, and possibly
+        # lets this link start its next transfer immediately.
+        feeder = link.feeder
+        if feeder is not None:
+            feeder.on_output_space(link)
+        self.try_start_transfer(link)
+
+    def _consume_at_processor(self, link: LinkState, flit: Flit, processor: int) -> None:
+        """Consumption channels deliver directly into the destination processor."""
+        if flit.is_bubble:
+            return
+        message = self.messages[flit.message_id]
+        if flit.is_tail:
+            completed = message.record_delivery(processor, self.now)
+            self.trace_event("deliver", message=message.mid, destination=processor)
+            for callback in self.delivery_callbacks:
+                callback(message, processor, self.now)
+            if completed:
+                self.stats.record_message(message)
+                self.trace_event("complete", message=message.mid)
+                for callback in self.completion_callbacks:
+                    callback(message)
+
+    def _handle_head_at_switch(self, link: LinkState, flit: Flit, switch: int) -> None:
+        """Create the worm segment for a header flit and schedule its decision."""
+        message = self.messages[flit.message_id]
+        message.hops += 1
+        if message.hops > self.config.max_hops:
+            raise LivelockError(
+                f"message {message.mid} exceeded {self.config.max_hops} hops; "
+                f"the routing algorithm {self.routing.name!r} is not making progress"
+            )
+        segment = WormSegment(self, message, switch, link)
+        link.sink_segment = segment
+        self._segments.add(segment)
+        self.trace_event("head", message=message.mid, switch=switch, channel=link.cid)
+        self.events.schedule_after(self.config.router_setup_ns, segment.make_decision)
+
+    # ------------------------------------------------------------------
+    # Segment bookkeeping
+    # ------------------------------------------------------------------
+    def segment_finished(self, segment: WormSegment) -> None:
+        """A worm segment replicated its tail and released its channels."""
+        self._segments.discard(segment)
+
+    def notify_channel_released(self, link: LinkState) -> None:
+        """Wake the next OCRQ waiter (if any) after a channel release."""
+        head = link.ocrq.head()
+        if head is not None:
+            head.try_acquire()
+
+    def active_segments(self) -> list[WormSegment]:
+        """Snapshot of the currently live worm segments (diagnostics)."""
+        return list(self._segments)
+
+    def diagnose_deadlock(self) -> DeadlockReport:
+        """Build a deadlock report from the current engine state."""
+        return diagnose(self)
+
+    # ------------------------------------------------------------------
+    # Statistics helpers
+    # ------------------------------------------------------------------
+    def _finalise_channel_stats(self) -> None:
+        self.stats.channel_records = [
+            ChannelRecord(
+                cid=link.cid,
+                src=link.channel.src,
+                dst=link.channel.dst,
+                data_flits=link.data_flits_carried,
+                bubble_flits=link.bubble_flits_carried,
+                busy_ns=link.busy_total_ns,
+            )
+            for link in self.links
+        ]
+
+    @property
+    def pending_messages(self) -> list[Message]:
+        """Messages submitted but not yet complete."""
+        return [m for m in self.messages.values() if not m.is_complete]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WormholeSimulator(network={self.network.name!r}, routing={self.routing.name!r}, "
+            f"now={self.now} ns, messages={len(self.messages)})"
+        )
+
+
+class _DestinationView:
+    """Minimal message view used for early destination validation."""
+
+    __slots__ = ("source", "destinations", "routing_data")
+
+    def __init__(self, source: int, destinations: tuple[int, ...]) -> None:
+        self.source = source
+        self.destinations = destinations
+        self.routing_data: dict = {}

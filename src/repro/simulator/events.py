@@ -1,0 +1,66 @@
+"""Discrete-event queue.
+
+The simulator is event driven: every state change is caused by a callback
+scheduled at an integer nanosecond timestamp.  Events at the same timestamp
+are processed in scheduling order (FIFO), which both makes runs perfectly
+reproducible and provides the atomicity the OCRQ protocol relies on (a
+message enqueues all of its channel requests within a single event).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A binary-heap priority queue of ``(time, seq, callback)`` events."""
+
+    __slots__ = ("_heap", "_seq", "now")
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        #: Current simulation time (time of the most recently popped event).
+        self.now = start_ns
+
+    def schedule(self, time_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at ``time_ns``.
+
+        Scheduling in the past is a simulator bug and raises immediately
+        rather than silently reordering history.
+        """
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time_ns} ns, current time is {self.now} ns"
+            )
+        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
+        self.schedule(self.now + delay_ns, callback)
+
+    def pop(self) -> tuple[int, Callable[[], None]]:
+        """Pop the earliest event and advance the clock to its timestamp."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time_ns, _seq, callback = heapq.heappop(self._heap)
+        self.now = time_ns
+        return time_ns, callback
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when no events are pending."""
+        return not self._heap
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def next_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None

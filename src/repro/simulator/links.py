@@ -1,0 +1,118 @@
+"""Run-time state of a unidirectional channel (a *link*).
+
+Each link owns:
+
+* an **output buffer** at the transmitting router (written by the worm
+  segment that has acquired the channel),
+* the **wire**, which carries at most one flit per ``channel_latency_ns``,
+* an **input buffer** at the receiving router (drained by the worm segment
+  at that router, or consumed immediately when the receiver is a processor),
+* an **OCRQ** holding the messages waiting to acquire the channel, and
+* the reservation (``reserved_by``) of the message currently holding it.
+
+The link performs no scheduling itself; the engine drives transfers and
+notifies the affected parties when buffers change.
+"""
+
+from __future__ import annotations
+
+from ..topology.channels import Channel, LinkRole
+from .buffers import FlitBuffer
+from .ocrq import OutputChannelRequestQueue
+
+__all__ = ["LinkState"]
+
+
+class LinkState:
+    """Mutable simulation state of one unidirectional channel."""
+
+    __slots__ = (
+        "channel",
+        "out_buffer",
+        "in_buffer",
+        "latency_ns",
+        "ocrq",
+        "reserved_by",
+        "busy",
+        "feeder",
+        "sink_segment",
+        "data_flits_carried",
+        "bubble_flits_carried",
+        "busy_since_ns",
+        "busy_total_ns",
+    )
+
+    def __init__(
+        self,
+        channel: Channel,
+        latency_ns: int,
+        output_depth: int,
+        input_depth: int,
+    ) -> None:
+        self.channel = channel
+        self.out_buffer = FlitBuffer(output_depth)
+        self.in_buffer = FlitBuffer(input_depth)
+        self.latency_ns = latency_ns
+        self.ocrq = OutputChannelRequestQueue()
+        #: Message id currently holding the channel, or ``None``.
+        self.reserved_by: int | None = None
+        #: ``True`` while a flit is on the wire.
+        self.busy = False
+        #: The segment (source NI or worm segment) currently writing into the
+        #: output buffer; notified when output-buffer space frees up.
+        self.feeder = None
+        #: The worm segment currently draining the input buffer at the
+        #: receiving switch (``None`` at processors and before the header
+        #: has been processed).
+        self.sink_segment = None
+        # Statistics (only meaningful when channel stats are enabled).
+        self.data_flits_carried = 0
+        self.bubble_flits_carried = 0
+        self.busy_since_ns: int | None = None
+        self.busy_total_ns = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cid(self) -> int:
+        """Channel id."""
+        return self.channel.cid
+
+    @property
+    def is_consumption(self) -> bool:
+        """``True`` for switch-to-processor channels."""
+        return self.channel.role is LinkRole.CONSUMPTION
+
+    @property
+    def is_injection(self) -> bool:
+        """``True`` for processor-to-switch channels."""
+        return self.channel.role is LinkRole.INJECTION
+
+    @property
+    def is_free(self) -> bool:
+        """``True`` when no message holds the channel."""
+        return self.reserved_by is None
+
+    def can_start_transfer(self) -> bool:
+        """A flit can leave the output buffer onto the wire right now."""
+        return (not self.busy) and (not self.out_buffer.is_empty) and (
+            not self.in_buffer.is_full
+        )
+
+    # ------------------------------------------------------------------
+    def mark_utilisation_start(self, now_ns: int) -> None:
+        """Start accounting a busy period (channel-statistics mode only)."""
+        if self.busy_since_ns is None:
+            self.busy_since_ns = now_ns
+
+    def mark_utilisation_end(self, now_ns: int) -> None:
+        """End a busy period (channel-statistics mode only)."""
+        if self.busy_since_ns is not None:
+            self.busy_total_ns += now_ns - self.busy_since_ns
+            self.busy_since_ns = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinkState(cid={self.cid}, {self.channel.src}->{self.channel.dst}, "
+            f"reserved_by={self.reserved_by}, out={len(self.out_buffer)}, "
+            f"in={len(self.in_buffer)}, busy={self.busy})"
+        )

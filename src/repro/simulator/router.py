@@ -1,0 +1,385 @@
+"""Worm segments and source network interfaces.
+
+A **worm segment** is the presence of one message at one switch: it owns the
+incoming link whose input buffer the message's flits arrive in, performs the
+routing decision after the router setup latency, enqueues requests in the
+OCRQs of the required output channels, acquires them atomically, and then
+replicates flits from the input buffer to all acquired output buffers —
+inserting bubble flits into the free output buffers whenever the data flit
+is held back by an occupied one (the asynchronous replication mechanism of
+paper §3.2).
+
+A **source interface** models the sending half of a processor's network
+interface: it serialises the processor's outstanding messages, charges the
+per-message startup latency, and pumps the worm's flits into the injection
+channel.
+
+Both classes are driven by the engine (:mod:`repro.simulator.engine`): they
+never touch the event queue directly except through the engine's helpers, so
+all scheduling policy lives in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core.decision import DecisionMode
+from ..errors import SimulationError
+from .flit import Flit, FlitKind
+from .links import LinkState
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import WormholeSimulator
+
+__all__ = ["SegmentState", "WormSegment", "SourceInterface"]
+
+
+class SegmentState(enum.Enum):
+    """Lifecycle of a worm segment at a switch."""
+
+    #: Header arrived; waiting for the router setup latency to elapse.
+    SETUP = "setup"
+    #: Requests enqueued; waiting to acquire all required output channels.
+    WAITING = "waiting"
+    #: Channels acquired; replicating flits.
+    ACTIVE = "active"
+    #: Tail replicated onward; the segment is finished.
+    DONE = "done"
+
+
+class WormSegment:
+    """One message's state machine at one switch."""
+
+    __slots__ = (
+        "engine",
+        "message",
+        "switch",
+        "in_link",
+        "state",
+        "required",
+        "outputs",
+        "head_replicated",
+    )
+
+    def __init__(
+        self,
+        engine: "WormholeSimulator",
+        message: Message,
+        switch: int,
+        in_link: LinkState,
+    ) -> None:
+        self.engine = engine
+        self.message = message
+        self.switch = switch
+        self.in_link = in_link
+        self.state = SegmentState.SETUP
+        #: Links whose OCRQ this segment is queued in (before acquisition).
+        self.required: list[LinkState] = []
+        #: Links acquired by this segment (after acquisition).
+        self.outputs: list[LinkState] = []
+        #: ``True`` once the header flit has been replicated to the outputs;
+        #: bubble flits may only be inserted after this point (they fill the
+        #: gap *behind* the header, never run ahead of it).
+        self.head_replicated = False
+
+    # ------------------------------------------------------------------
+    # Decision and acquisition
+    # ------------------------------------------------------------------
+    def make_decision(self) -> None:
+        """Run the routing function and enqueue the channel requests.
+
+        Called by the engine ``router_setup_ns`` after the header flit
+        arrived.  For a one-of (adaptive) decision the segment prefers a
+        candidate that is immediately available (free channel, empty OCRQ);
+        when none is available it enqueues on the most-preferred candidate
+        and waits there, preserving FIFO fairness.
+        """
+        engine = self.engine
+        decision = engine.routing.decide(self.message, self.switch, self.in_link.channel)
+        if decision.mode is DecisionMode.ALL_OF:
+            links = [engine.links[cid] for cid in decision.channel_ids]
+        else:
+            candidates = [engine.links[cid] for cid in decision.channel_ids]
+            chosen = None
+            for link in candidates:
+                if link.is_free and link.ocrq.is_empty:
+                    chosen = link
+                    break
+            if chosen is None:
+                chosen = candidates[0]
+            links = [chosen]
+        self.required = links
+        self.state = SegmentState.WAITING
+        for link in links:
+            link.ocrq.enqueue(self)
+        engine.trace_event("request", message=self.message.mid, switch=self.switch,
+                           channels=[link.cid for link in links])
+        self.try_acquire()
+
+    def try_acquire(self) -> None:
+        """Acquire the required channels if all are free and headed by us."""
+        if self.state is not SegmentState.WAITING:
+            return
+        mid = self.message.mid
+        for link in self.required:
+            if link.reserved_by is not None or link.ocrq.head() is not self:
+                return
+        for link in self.required:
+            link.ocrq.pop_head(self)
+            link.reserved_by = mid
+            link.feeder = self
+        self.outputs = self.required
+        self.required = []
+        self.state = SegmentState.ACTIVE
+        self.engine.trace_event(
+            "acquire", message=mid, switch=self.switch,
+            channels=[link.cid for link in self.outputs],
+        )
+        self.try_advance()
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def try_advance(self) -> None:
+        """Replicate flits from the input buffer to all acquired outputs.
+
+        A data flit advances only when *every* acquired output buffer has a
+        free slot; when only some do, bubble flits are pushed into those so
+        the corresponding downstream branches keep moving (asynchronous
+        replication).  The input-buffer slot freed by an advancing data flit
+        immediately allows the upstream link to deliver the next flit.
+        """
+        if self.state is not SegmentState.ACTIVE:
+            return
+        engine = self.engine
+        in_buffer = self.in_link.in_buffer
+        advanced_any = False
+        while True:
+            if in_buffer.is_empty:
+                break
+            if all(not link.out_buffer.is_full for link in self.outputs):
+                flit = in_buffer.pop()
+                self._replicate(flit)
+                advanced_any = True
+                if flit.kind is FlitKind.HEAD:
+                    self.head_replicated = True
+                if flit.kind is FlitKind.TAIL:
+                    self._finish()
+                    break
+                continue
+            # Flit present but blocked by at least one full output buffer:
+            # fill the free output buffers with bubbles so their downstream
+            # branches keep advancing.  Bubbles are inserted only
+            #   (a) after this segment's header has been replicated — bubbles
+            #       fill the gap behind the header and must never overtake it
+            #       (an overtaking bubble would occupy the downstream input
+            #       buffer before any segment exists there to drain it), and
+            #   (b) while one of *this message's own* data flits is what
+            #       blocks the replication; once the only blockers are
+            #       previously-inserted bubbles (which drain on their own
+            #       within a channel cycle) or another message's trailing
+            #       flits, no further bubbles are created — otherwise
+            #       staggered buffer availability could starve the data flit
+            #       behind an endless train of bubbles.
+            if not self.head_replicated:
+                break
+            own_mid = self.message.mid
+            blocked_by_own_data = any(
+                link.out_buffer.is_full
+                and any(f.is_data and f.message_id == own_mid for f in link.out_buffer.flits())
+                for link in self.outputs
+            )
+            if not blocked_by_own_data:
+                break
+            # Bubbles are inserted one at a time, only into output buffers
+            # that have fully drained: the goal is to keep the downstream
+            # branch fed at channel rate, not to build up trains of bubbles
+            # that the real data (and ultimately the tail) would then have to
+            # queue behind.
+            pushed_bubble = False
+            for link in self.outputs:
+                if link.out_buffer.is_empty:
+                    bubble = Flit(FlitKind.BUBBLE, self.message.mid, in_buffer.peek().seq)
+                    link.out_buffer.push(bubble)
+                    engine.stats.bubbles_created += 1
+                    engine.try_start_transfer(link)
+                    pushed_bubble = True
+            if pushed_bubble:
+                engine.trace_event(
+                    "bubble", message=self.message.mid, switch=self.switch,
+                )
+            break
+        if advanced_any:
+            # The upstream link can now deliver the next flit into the freed
+            # input-buffer slot(s).
+            engine.try_start_transfer(self.in_link)
+
+    def _replicate(self, flit: Flit) -> None:
+        engine = self.engine
+        outputs = self.outputs
+        if len(outputs) == 1:
+            outputs[0].out_buffer.push(flit)
+            engine.try_start_transfer(outputs[0])
+            return
+        for index, link in enumerate(outputs):
+            copy = flit if index == 0 else Flit(flit.kind, flit.message_id, flit.seq)
+            link.out_buffer.push(copy)
+            engine.try_start_transfer(link)
+
+    def _finish(self) -> None:
+        """Release the acquired channels once the tail has been replicated."""
+        engine = self.engine
+        self.state = SegmentState.DONE
+        released = self.outputs
+        self.outputs = []
+        for link in released:
+            if link.reserved_by != self.message.mid:
+                raise SimulationError("segment released a channel it does not hold")
+            link.reserved_by = None
+        engine.trace_event(
+            "release", message=self.message.mid, switch=self.switch,
+            channels=[link.cid for link in released],
+        )
+        # Detach from the input link and let the engine drop the segment.
+        if self.in_link.sink_segment is self:
+            self.in_link.sink_segment = None
+        engine.segment_finished(self)
+        for link in released:
+            engine.notify_channel_released(link)
+
+    # ------------------------------------------------------------------
+    # Engine notifications
+    # ------------------------------------------------------------------
+    def on_output_space(self, link: LinkState) -> None:
+        """An acquired output buffer gained a free slot."""
+        self.try_advance()
+
+    def on_flit_available(self) -> None:
+        """A new flit arrived in the input buffer."""
+        self.try_advance()
+
+    def waiting_on(self) -> list[LinkState]:
+        """Links this segment is still waiting to acquire (for diagnostics)."""
+        if self.state is not SegmentState.WAITING:
+            return []
+        return [
+            link
+            for link in self.required
+            if link.reserved_by is not None or link.ocrq.head() is not self
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WormSegment(msg={self.message.mid}, switch={self.switch}, "
+            f"state={self.state.value})"
+        )
+
+
+class SourceInterface:
+    """The sending side of a processor's network interface.
+
+    Messages submitted to a processor are sent strictly one after another:
+    each waits for the previous message's tail to be handed to the injection
+    channel, then pays the startup latency, then streams its flits into the
+    injection channel's output buffer as fast as the channel drains it.
+    """
+
+    __slots__ = ("engine", "processor", "injection", "queue", "current", "next_seq")
+
+    def __init__(self, engine: "WormholeSimulator", processor: int, injection: LinkState) -> None:
+        self.engine = engine
+        self.processor = processor
+        self.injection = injection
+        self.queue: deque[Message] = deque()
+        self.current: Message | None = None
+        self.next_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """``True`` when no message is being started up or injected."""
+        return self.current is None
+
+    @property
+    def backlog(self) -> int:
+        """Number of messages waiting behind the one currently being sent."""
+        return len(self.queue)
+
+    def submit(self, message: Message) -> None:
+        """Queue ``message`` for transmission."""
+        self.queue.append(message)
+        if self.current is None:
+            self._begin_next()
+
+    # ------------------------------------------------------------------
+    def _begin_next(self) -> None:
+        engine = self.engine
+        if not self.queue:
+            return
+        message = self.queue.popleft()
+        self.current = message
+        self.next_seq = 0
+        now = engine.now
+        message.startup_began_ns = now
+        engine.trace_event("startup", message=message.mid, processor=self.processor)
+        engine.schedule_after(engine.config.startup_latency_ns, self._on_startup_done)
+
+    def _on_startup_done(self) -> None:
+        engine = self.engine
+        message = self.current
+        if message is None:
+            raise SimulationError("startup completed with no current message")
+        message.startup_done_ns = engine.now
+        # The injection channel is used by this processor only and sends are
+        # serialised, so it is always free here; reserve it for symmetry with
+        # switch-to-switch channels (and for utilisation accounting).
+        self.injection.reserved_by = message.mid
+        self.injection.feeder = self
+        self.pump()
+
+    def pump(self) -> None:
+        """Push as many flits as the injection output buffer will take."""
+        engine = self.engine
+        message = self.current
+        if message is None:
+            return
+        length = message.length_flits
+        pushed = False
+        while self.next_seq < length and not self.injection.out_buffer.is_full:
+            seq = self.next_seq
+            if seq == 0:
+                kind = FlitKind.HEAD
+            elif seq == length - 1:
+                kind = FlitKind.TAIL
+            else:
+                kind = FlitKind.BODY
+            self.injection.out_buffer.push(Flit(kind, message.mid, seq))
+            self.next_seq += 1
+            pushed = True
+        if pushed:
+            engine.try_start_transfer(self.injection)
+        if self.next_seq >= length:
+            # Tail handed to the channel: release it and move on to the next
+            # queued message (its startup may overlap with the tail still
+            # draining out of the buffer, exactly as a real NI would).
+            message.injection_done_ns = engine.now
+            self.injection.reserved_by = None
+            self.injection.feeder = None
+            self.current = None
+            engine.trace_event("injected", message=message.mid, processor=self.processor)
+            if self.queue:
+                self._begin_next()
+
+    def on_output_space(self, link: LinkState) -> None:
+        """The injection output buffer gained a free slot."""
+        self.pump()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        current = self.current.mid if self.current else None
+        return (
+            f"SourceInterface(processor={self.processor}, current={current}, "
+            f"backlog={len(self.queue)})"
+        )

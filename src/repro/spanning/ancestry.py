@@ -1,0 +1,196 @@
+"""Ancestor and extended-ancestor relations (Definition 1 of the paper).
+
+Definition 1 (paper §3.1):
+
+* node ``u`` is an **ancestor** of node ``v`` if there exists a path from
+  ``u`` to ``v`` consisting of only down tree channels;
+* node ``u`` is an **extended ancestor** of node ``v`` if there exists a
+  path from ``u`` to ``v`` consisting of zero or more down cross channels
+  followed by zero or more down tree channels.
+
+Both relations are reflexive (the empty path qualifies), which is exactly
+what the routing rules need: the final consumption channel's endpoint is the
+destination itself and must pass the "ancestor of the destination" test.
+
+The relations are precomputed as Python-integer bitmasks indexed by node id,
+so a membership test in the routing hot path is a single shift-and-mask and
+set intersections (e.g. "does this subtree contain any destination?") are
+single integer ``&`` operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..errors import SpanningTreeError
+from .labeling import ChannelLabeling
+from .tree import SpanningTree
+
+__all__ = ["Ancestry", "node_mask"]
+
+
+def node_mask(nodes: Iterable[int]) -> int:
+    """Bitmask with one bit set per node id in ``nodes``."""
+    mask = 0
+    for node in nodes:
+        mask |= 1 << node
+    return mask
+
+
+class Ancestry:
+    """Precomputed ancestor / extended-ancestor relations for one labelling.
+
+    Parameters
+    ----------
+    labeling:
+        The channel labelling (which carries the network and the tree).
+    """
+
+    def __init__(self, labeling: ChannelLabeling) -> None:
+        self.labeling = labeling
+        self.network = labeling.network
+        self.tree: SpanningTree = labeling.tree
+        n = self.network.num_nodes
+        self._ancestor_mask: list[int] = [0] * n
+        self._extended_mask: list[int] = [0] * n
+        self._subtree_mask: list[int] = [0] * n
+        self._compute_tree_masks()
+        self._compute_extended_masks()
+
+    # ------------------------------------------------------------------
+    def _compute_tree_masks(self) -> None:
+        tree = self.tree
+        # Ancestor masks: walk down from the root accumulating the path mask.
+        root = tree.root
+        stack: list[tuple[int, int]] = [(root, 1 << root)]
+        visited = 0
+        while stack:
+            node, mask = stack.pop()
+            self._ancestor_mask[node] = mask
+            visited += 1
+            for child in tree.children(node):
+                stack.append((child, mask | (1 << child)))
+        if visited != self.network.num_nodes:
+            raise SpanningTreeError("tree does not cover the network")
+        # Subtree masks: post-order accumulation.
+        order: list[int] = []
+        stack2 = [root]
+        while stack2:
+            node = stack2.pop()
+            order.append(node)
+            stack2.extend(tree.children(node))
+        for node in reversed(order):
+            mask = 1 << node
+            for child in tree.children(node):
+                mask |= self._subtree_mask[child]
+            self._subtree_mask[node] = mask
+
+    def _compute_extended_masks(self) -> None:
+        """Extended ancestors via reverse reachability over down cross channels.
+
+        ``E(v)`` contains ``u`` iff ``u`` can reach some tree
+        ancestor-or-self of ``v`` using down cross channels only (possibly
+        none).  We therefore compute, for every node ``x``, the set of nodes
+        that can reach ``x`` through down cross channels (its *reverse down
+        cross closure*), then OR those sets over the ancestors of ``v``.
+        """
+        network = self.network
+        labeling = self.labeling
+        n = network.num_nodes
+        # reverse_dc[x] = bitmask of nodes u with a down-cross path u ->* x
+        # (including x itself via the empty path).
+        reverse_dc: list[int] = [1 << x for x in range(n)]
+        # Down-cross adjacency in both directions.
+        predecessors: list[list[int]] = [[] for _ in range(n)]
+        successors: list[list[int]] = [[] for _ in range(n)]
+        for channel in network.channels():
+            if labeling.is_down_cross(channel):
+                predecessors[channel.dst].append(channel.src)
+                successors[channel.src].append(channel.dst)
+        # Down cross channels are acyclic (they strictly increase the pair
+        # (tree level, destination id) lexicographically), so a worklist that
+        # re-propagates a node's set to its successors whenever it grows
+        # converges quickly.
+        changed = deque(range(n))
+        in_queue = [True] * n
+        while changed:
+            x = changed.popleft()
+            in_queue[x] = False
+            new_mask = reverse_dc[x]
+            for pred in predecessors[x]:
+                new_mask |= reverse_dc[pred]
+            if new_mask != reverse_dc[x]:
+                reverse_dc[x] = new_mask
+            for succ in successors[x]:
+                if reverse_dc[x] | reverse_dc[succ] != reverse_dc[succ] and not in_queue[succ]:
+                    changed.append(succ)
+                    in_queue[succ] = True
+        for v in range(n):
+            mask = 0
+            ancestors = self._ancestor_mask[v]
+            a = ancestors
+            while a:
+                low = a & -a
+                x = low.bit_length() - 1
+                mask |= reverse_dc[x]
+                a ^= low
+            self._extended_mask[v] = mask | ancestors
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def ancestor_mask(self, node: int) -> int:
+        """Bitmask of the tree ancestors of ``node`` (including ``node``)."""
+        return self._ancestor_mask[node]
+
+    def extended_ancestor_mask(self, node: int) -> int:
+        """Bitmask of the extended ancestors of ``node`` (including ``node``)."""
+        return self._extended_mask[node]
+
+    def subtree_mask(self, node: int) -> int:
+        """Bitmask of the tree descendants of ``node`` (including ``node``)."""
+        return self._subtree_mask[node]
+
+    def is_ancestor(self, candidate: int, node: int) -> bool:
+        """``True`` if ``candidate`` is a tree ancestor of ``node`` (or equal)."""
+        return bool(self._ancestor_mask[node] >> candidate & 1)
+
+    def is_extended_ancestor(self, candidate: int, node: int) -> bool:
+        """``True`` if ``candidate`` is an extended ancestor of ``node`` (or equal)."""
+        return bool(self._extended_mask[node] >> candidate & 1)
+
+    def ancestors(self, node: int) -> list[int]:
+        """Sorted list of tree ancestors of ``node`` (including ``node``)."""
+        return _mask_to_nodes(self._ancestor_mask[node])
+
+    def extended_ancestors(self, node: int) -> list[int]:
+        """Sorted list of extended ancestors of ``node`` (including ``node``)."""
+        return _mask_to_nodes(self._extended_mask[node])
+
+    def descendants(self, node: int) -> list[int]:
+        """Sorted list of tree descendants of ``node`` (including ``node``)."""
+        return _mask_to_nodes(self._subtree_mask[node])
+
+    def covers_all(self, node: int, destination_mask: int) -> bool:
+        """``True`` if every destination in ``destination_mask`` lies in the
+        subtree rooted at ``node`` (i.e. down-tree delivery from ``node`` can
+        reach them all)."""
+        return destination_mask & ~self._subtree_mask[node] == 0
+
+    def lca(self, nodes: Iterable[int]) -> int:
+        """Least common ancestor of ``nodes`` in the spanning tree."""
+        return self.tree.lowest_common_ancestor(nodes)
+
+    def destination_mask(self, destinations: Iterable[int]) -> int:
+        """Bitmask over a destination collection (convenience wrapper)."""
+        return node_mask(destinations)
+
+
+def _mask_to_nodes(mask: int) -> list[int]:
+    nodes = []
+    while mask:
+        low = mask & -mask
+        nodes.append(low.bit_length() - 1)
+        mask ^= low
+    return nodes

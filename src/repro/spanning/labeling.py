@@ -1,0 +1,139 @@
+"""Channel labelling for the up*/down* partition and SPAM's refinement of it.
+
+Given a network and a rooted spanning tree, every unidirectional channel is
+assigned an :class:`~repro.topology.channels.Orientation` (up or down) and a
+:class:`~repro.topology.channels.ChannelKind` (tree or cross) according to
+the rules of the paper's §3.1:
+
+* For every tree edge, the unidirectional component directed towards the
+  root is an *up* channel and the component directed away from the root is a
+  *down* channel; both are *tree* channels.
+* Cross (non-tree) channels are categorised similarly: a cross channel from
+  a deeper node to a shallower node is an *up* channel and one from a
+  shallower node to a deeper node is a *down* channel.
+* A cross channel between two nodes at the same level is an *up* channel if
+  the ID of its source is larger than the ID of its destination and a *down*
+  channel otherwise.
+
+Processor links are tree edges by construction (processors are degree-one
+leaves), so every injection channel is an up tree channel and every
+consumption channel is a down tree channel — matching the paper's
+observation that the first channel of every route is an up channel and the
+last is a down tree channel.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpanningTreeError
+from ..topology.channels import (
+    Channel,
+    ChannelKind,
+    ChannelLabel,
+    Orientation,
+)
+from ..topology.network import Network
+from .tree import SpanningTree
+
+__all__ = ["ChannelLabeling", "label_channels"]
+
+
+class ChannelLabeling:
+    """Per-channel up/down and tree/cross labels plus per-node indexes.
+
+    Instances are immutable after construction.  The per-node channel lists
+    (``up_channels_from``, ``down_tree_channels_from``,
+    ``down_cross_channels_from``) are precomputed because the routing
+    function consults them on every hop of every worm.
+    """
+
+    def __init__(self, network: Network, tree: SpanningTree) -> None:
+        if tree.network is not network:
+            raise SpanningTreeError("labeling requires the tree built for the same network")
+        self.network = network
+        self.tree = tree
+        self._labels: list[ChannelLabel] = [None] * network.num_channels  # type: ignore[list-item]
+        self._up_from: dict[int, list[Channel]] = {n: [] for n in network.nodes()}
+        self._down_tree_from: dict[int, list[Channel]] = {n: [] for n in network.nodes()}
+        self._down_cross_from: dict[int, list[Channel]] = {n: [] for n in network.nodes()}
+        self._assign_labels()
+
+    # ------------------------------------------------------------------
+    def _assign_labels(self) -> None:
+        network = self.network
+        tree = self.tree
+        for channel in network.channels():
+            src, dst = channel.src, channel.dst
+            is_tree = tree.is_tree_edge(src, dst)
+            kind = ChannelKind.TREE if is_tree else ChannelKind.CROSS
+            orientation = self._orientation(src, dst, is_tree)
+            label = ChannelLabel(orientation, kind)
+            self._labels[channel.cid] = label
+            if label.is_up:
+                self._up_from[src].append(channel)
+            elif label.is_down_tree:
+                self._down_tree_from[src].append(channel)
+            else:
+                self._down_cross_from[src].append(channel)
+
+    def _orientation(self, src: int, dst: int, is_tree: bool) -> Orientation:
+        tree = self.tree
+        if is_tree:
+            # Towards the root (towards the parent) is up.
+            return Orientation.UP if tree.parent(src) == dst else Orientation.DOWN
+        depth_src, depth_dst = tree.depth(src), tree.depth(dst)
+        if depth_src > depth_dst:
+            return Orientation.UP
+        if depth_src < depth_dst:
+            return Orientation.DOWN
+        # Same level: larger ID -> smaller ID is up.
+        return Orientation.UP if src > dst else Orientation.DOWN
+
+    # ------------------------------------------------------------------
+    def label(self, channel: Channel | int) -> ChannelLabel:
+        """Label of a channel (accepts a :class:`Channel` or a ``cid``)."""
+        cid = channel.cid if isinstance(channel, Channel) else channel
+        return self._labels[cid]
+
+    def is_up(self, channel: Channel | int) -> bool:
+        """``True`` for up channels."""
+        return self.label(channel).is_up
+
+    def is_down_tree(self, channel: Channel | int) -> bool:
+        """``True`` for down tree channels."""
+        return self.label(channel).is_down_tree
+
+    def is_down_cross(self, channel: Channel | int) -> bool:
+        """``True`` for down cross channels."""
+        return self.label(channel).is_down_cross
+
+    def up_channels_from(self, node: int) -> list[Channel]:
+        """Outgoing up channels of ``node`` (tree and cross alike)."""
+        return self._up_from[node]
+
+    def down_tree_channels_from(self, node: int) -> list[Channel]:
+        """Outgoing down tree channels of ``node``."""
+        return self._down_tree_from[node]
+
+    def down_cross_channels_from(self, node: int) -> list[Channel]:
+        """Outgoing down cross channels of ``node``."""
+        return self._down_cross_from[node]
+
+    def down_channels_from(self, node: int) -> list[Channel]:
+        """All outgoing down channels (tree and cross) of ``node``."""
+        return self._down_tree_from[node] + self._down_cross_from[node]
+
+    def counts(self) -> dict[str, int]:
+        """Number of channels per label, for reports and sanity checks."""
+        result: dict[str, int] = {}
+        for label in self._labels:
+            key = label.short()
+            result[key] = result.get(key, 0) + 1
+        return dict(sorted(result.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChannelLabeling(root={self.tree.root}, {self.counts()})"
+
+
+def label_channels(network: Network, tree: SpanningTree) -> ChannelLabeling:
+    """Build the :class:`ChannelLabeling` for ``network`` and ``tree``."""
+    return ChannelLabeling(network, tree)

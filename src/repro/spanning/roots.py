@@ -1,0 +1,99 @@
+"""Root-selection heuristics for the spanning tree.
+
+The paper selects "an arbitrary vertex in V1 (representing a switch)" as the
+root.  The choice of root affects both the average route length and the
+severity of the hot-spot effect at the root discussed in the paper's §5, so
+this module offers several selection strategies; the root-selection ablation
+benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..topology.network import Network
+from ..topology.properties import graph_center_switches
+
+__all__ = [
+    "RootSelector",
+    "center_root",
+    "max_degree_root",
+    "first_switch_root",
+    "random_root",
+    "select_root",
+    "ROOT_STRATEGIES",
+]
+
+#: Signature of a root-selection strategy.
+RootSelector = Callable[[Network], int]
+
+
+def center_root(network: Network) -> int:
+    """The smallest-id switch of minimum eccentricity (the graph centre).
+
+    A central root minimises the height of the BFS spanning tree and is the
+    default used by the experiment drivers.
+    """
+    centers = graph_center_switches(network)
+    if not centers:
+        raise ConfigurationError("network has no switches")
+    return centers[0]
+
+
+def max_degree_root(network: Network) -> int:
+    """The switch with the largest degree (ties broken by smallest id)."""
+    switches = network.switches()
+    if not switches:
+        raise ConfigurationError("network has no switches")
+    return max(switches, key=lambda s: (network.degree(s), -s))
+
+
+def first_switch_root(network: Network) -> int:
+    """The switch with the smallest node id (the paper's "arbitrary" choice)."""
+    switches = network.switches()
+    if not switches:
+        raise ConfigurationError("network has no switches")
+    return switches[0]
+
+
+def random_root(network: Network, seed: int | np.random.Generator = 0) -> int:
+    """A uniformly random switch."""
+    switches = network.switches()
+    if not switches:
+        raise ConfigurationError("network has no switches")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    return int(switches[int(rng.integers(0, len(switches)))])
+
+
+#: Named strategies accepted by :func:`select_root` and the experiment CLIs.
+ROOT_STRATEGIES: dict[str, RootSelector] = {
+    "center": center_root,
+    "max-degree": max_degree_root,
+    "first": first_switch_root,
+}
+
+
+def select_root(network: Network, strategy: str = "center", seed: int = 0) -> int:
+    """Select a spanning-tree root by strategy name.
+
+    Parameters
+    ----------
+    network:
+        Network whose root switch is being selected.
+    strategy:
+        One of ``"center"``, ``"max-degree"``, ``"first"`` or ``"random"``.
+    seed:
+        Seed used only by the ``"random"`` strategy.
+    """
+    if strategy == "random":
+        return random_root(network, seed)
+    try:
+        return ROOT_STRATEGIES[strategy](network)
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown root strategy {strategy!r}; choose from "
+            f"{sorted(ROOT_STRATEGIES) + ['random']}"
+        ) from exc

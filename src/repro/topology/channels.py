@@ -1,0 +1,156 @@
+"""Channel-level vocabulary for switch-based direct networks.
+
+The paper models a network as an undirected graph whose edges are
+*bidirectional channels*, i.e. pairs of unidirectional channels.  The
+up*/down* partition (and SPAM's refinement of it) assigns every
+unidirectional channel an **orientation** (up or down) and a **kind**
+(tree or cross).  This module defines those vocabularies plus the
+:class:`Channel` record used throughout the library.
+
+Processor links are a special case: every processor is a leaf attached to
+exactly one switch, so the processor-to-switch channel is always an *up
+tree* channel (it is the first channel of every route) and the
+switch-to-processor channel is always a *down tree* channel (it is the last
+channel of every route).  The :class:`LinkRole` enum distinguishes these
+injection/consumption links from ordinary switch-to-switch links.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NodeKind(enum.Enum):
+    """Kind of a vertex in the network graph.
+
+    ``SWITCH`` vertices form the set :math:`V_1` of the paper and may have
+    degree up to the switch's port count.  ``PROCESSOR`` vertices form
+    :math:`V_2`, always have degree one and are leaves of every spanning
+    tree.
+    """
+
+    SWITCH = "switch"
+    PROCESSOR = "processor"
+
+
+class LinkRole(enum.Enum):
+    """Functional role of a unidirectional channel."""
+
+    #: Switch-to-switch channel (may be a tree or a cross channel).
+    INTERNAL = "internal"
+    #: Processor-to-switch channel; always the first hop of a route.
+    INJECTION = "injection"
+    #: Switch-to-processor channel; always the last hop of a route.
+    CONSUMPTION = "consumption"
+
+
+class Orientation(enum.Enum):
+    """Up/down orientation of a unidirectional channel.
+
+    A channel is *up* when it is directed towards the root of the spanning
+    tree (or, for same-level cross channels, from the higher-ID endpoint to
+    the lower-ID endpoint) and *down* otherwise.
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+    def opposite(self) -> "Orientation":
+        """Return the other orientation."""
+        return Orientation.DOWN if self is Orientation.UP else Orientation.UP
+
+
+class ChannelKind(enum.Enum):
+    """Tree/cross kind of a unidirectional channel.
+
+    Tree channels correspond to edges of the spanning tree; cross channels
+    are all remaining switch-to-switch channels.  SPAM distinguishes *down
+    tree* from *down cross* channels; no distinction is needed among up
+    channels, but the labelling retains the kind for analysis purposes.
+    """
+
+    TREE = "tree"
+    CROSS = "cross"
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelLabel:
+    """The SPAM-relevant label of a unidirectional channel.
+
+    Attributes
+    ----------
+    orientation:
+        :class:`Orientation.UP` or :class:`Orientation.DOWN`.
+    kind:
+        :class:`ChannelKind.TREE` or :class:`ChannelKind.CROSS`.
+    """
+
+    orientation: Orientation
+    kind: ChannelKind
+
+    @property
+    def is_up(self) -> bool:
+        """``True`` for up channels (tree or cross)."""
+        return self.orientation is Orientation.UP
+
+    @property
+    def is_down_tree(self) -> bool:
+        """``True`` for down tree channels."""
+        return self.orientation is Orientation.DOWN and self.kind is ChannelKind.TREE
+
+    @property
+    def is_down_cross(self) -> bool:
+        """``True`` for down cross channels."""
+        return self.orientation is Orientation.DOWN and self.kind is ChannelKind.CROSS
+
+    def short(self) -> str:
+        """Compact human-readable form such as ``"up-tree"``."""
+        return f"{self.orientation.value}-{self.kind.value}"
+
+
+#: Convenience constants for the four possible labels.
+UP_TREE = ChannelLabel(Orientation.UP, ChannelKind.TREE)
+UP_CROSS = ChannelLabel(Orientation.UP, ChannelKind.CROSS)
+DOWN_TREE = ChannelLabel(Orientation.DOWN, ChannelKind.TREE)
+DOWN_CROSS = ChannelLabel(Orientation.DOWN, ChannelKind.CROSS)
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A unidirectional channel of the network.
+
+    Every undirected edge of the network graph is represented by two
+    :class:`Channel` objects, one per direction.  Channels are identified by
+    a dense integer ``cid`` assigned by the :class:`~repro.topology.network.Network`
+    in creation order; the simulator and the verification utilities index
+    arrays and bitmasks by ``cid``.
+
+    Attributes
+    ----------
+    cid:
+        Dense integer identifier, unique within a network.
+    src:
+        Node id of the transmitting endpoint.
+    dst:
+        Node id of the receiving endpoint.
+    role:
+        Whether this is a switch-to-switch, injection or consumption channel.
+    reverse_cid:
+        ``cid`` of the channel in the opposite direction of the same
+        bidirectional link.
+    """
+
+    cid: int
+    src: int
+    dst: int
+    role: LinkRole
+    reverse_cid: int
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """``(src, dst)`` pair."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Channel#{self.cid}({self.src}->{self.dst},{self.role.value})"

@@ -1,0 +1,121 @@
+"""Example and fixture topologies, including the paper's Figure 1 network.
+
+The Figure 1 network is used throughout the test suite as a ground-truth
+fixture because the paper walks through the SPAM multicast from node 5 to
+destinations {8, 9, 10, 11} on it in detail (§3.2): the least common
+ancestor of the destinations is node 4, one legal unicast prefix is
+``5 → 2 → 3 → 4`` (an up channel followed by two down cross channels), the
+worm splits at node 4 towards nodes 6 and 7, splits again at node 6 towards
+8, 9 and 10, and node 7 forwards to node 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builder import NetworkBuilder
+from .network import Network
+
+__all__ = ["Figure1Fixture", "figure1_network", "two_switch_network", "line_network"]
+
+
+@dataclass(frozen=True)
+class Figure1Fixture:
+    """The Figure 1 network plus the node-id mapping for the paper labels.
+
+    Attributes
+    ----------
+    network:
+        The constructed :class:`Network`.
+    nodes:
+        Mapping from the paper's integer vertex labels (1..11) to node ids.
+    root_label:
+        The paper's root vertex (1).
+    source_label:
+        The example's multicast source (5).
+    destination_labels:
+        The example's multicast destinations (8, 9, 10, 11).
+    """
+
+    network: Network
+    nodes: dict[int, int]
+    root_label: int = 1
+    source_label: int = 5
+    destination_labels: tuple[int, ...] = (8, 9, 10, 11)
+
+    @property
+    def root(self) -> int:
+        """Node id of the spanning-tree root (paper vertex 1)."""
+        return self.nodes[self.root_label]
+
+    @property
+    def source(self) -> int:
+        """Node id of the example's multicast source (paper vertex 5)."""
+        return self.nodes[self.source_label]
+
+    @property
+    def destinations(self) -> list[int]:
+        """Node ids of the example's multicast destinations."""
+        return [self.nodes[label] for label in self.destination_labels]
+
+    @property
+    def lca(self) -> int:
+        """Node id of the destinations' least common ancestor (paper vertex 4)."""
+        return self.nodes[4]
+
+
+def figure1_network() -> Figure1Fixture:
+    """Build the network of the paper's Figure 1.
+
+    Vertices 1, 2, 3, 4, 6 and 7 are switches; vertices 5, 8, 9, 10 and 11
+    are processors (they have degree one and are leaves of the tree).  Tree
+    edges (solid lines in the figure) are 1–2, 1–3, 1–4, 2–5, 4–6, 4–7, 6–8,
+    6–9, 6–10 and 7–11.  Cross edges (dashed lines) are 2–3 and 3–4; these
+    are exactly the cross edges required by the paper's walk-through of the
+    route ``5 → 2 → 3 → 4``.
+
+    The nodes are added in increasing label order so that the internal node
+    ids preserve the paper's ID ordering; consequently a breadth-first
+    spanning tree rooted at vertex 1 reproduces the paper's tree and the
+    same-level cross channels 2→3 and 3→4 are *down* channels (the channel
+    from the smaller ID to the larger ID is a down channel).
+    """
+    builder = NetworkBuilder(ports_per_switch=8, name="figure1")
+    # Switches in label order (1, 2, 3, 4, 6, 7).
+    for label in (1, 2, 3, 4):
+        builder.switch(str(label))
+    # Vertex 5 is a processor attached to switch 2; add it next to keep the
+    # paper's label order aligned with the internal node ids.
+    builder.processor("5", on="2")
+    for label in (6, 7):
+        builder.switch(str(label))
+    for label in (8, 9, 10):
+        builder.processor(str(label), on="6")
+    builder.processor("11", on="7")
+    # Tree links between switches.
+    builder.link("1", "2").link("1", "3").link("1", "4")
+    builder.link("4", "6").link("4", "7")
+    # Cross links.
+    builder.link("2", "3").link("3", "4")
+    network = builder.build()
+    nodes = {label: network.node_by_label(str(label)) for label in range(1, 12)}
+    return Figure1Fixture(network=network, nodes=nodes)
+
+
+def two_switch_network() -> Network:
+    """Smallest interesting network: two switches, one processor each."""
+    builder = NetworkBuilder(ports_per_switch=8, name="two-switch")
+    builder.switches("A", "B").link("A", "B")
+    builder.processor("pA", on="A").processor("pB", on="B")
+    return builder.build()
+
+
+def line_network(length: int) -> Network:
+    """A line of ``length`` switches with one processor per switch."""
+    builder = NetworkBuilder(ports_per_switch=8, name=f"line-{length}")
+    labels = [f"s{i}" for i in range(length)]
+    builder.switches(*labels)
+    for a, b in zip(labels, labels[1:]):
+        builder.link(a, b)
+    builder.processors_everywhere()
+    return builder.build()

@@ -1,0 +1,118 @@
+"""Topology serialisation.
+
+The paper's experiments depend on *unpublished* random topologies, which is
+one of the reasons absolute latency numbers cannot be reproduced exactly.  To
+make every result in this repository auditable, networks can be saved to (and
+reloaded from) a small JSON document that records the switches, processors,
+links and port budget.  The format is deliberately plain so that instances
+can be shared, diffed and regenerated from other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import TopologyError
+from .network import Network
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+#: Format identifier embedded in every serialised document.
+FORMAT = "repro-network"
+#: Current format version; bump when the schema changes.
+VERSION = 1
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialise a network to a JSON-compatible dictionary.
+
+    The document records node labels (in node-id order, so ids are implied),
+    the switch/processor split, every undirected link once, and the port
+    budget.  Channel ids are *not* stored: they are deterministically
+    re-derived on load because links are recorded in channel-creation order.
+    """
+    switches = []
+    processors = []
+    for node in network.nodes():
+        entry = {"id": node, "label": network.label(node)}
+        if network.is_switch(node):
+            switches.append(entry)
+        else:
+            entry["switch"] = network.switch_of(node)
+            processors.append(entry)
+    links = [
+        {"a": a, "b": b}
+        for a, b in network.iter_bidirectional_links()
+        if network.is_switch(a) and network.is_switch(b)
+    ]
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": network.name,
+        "ports_per_switch": network.ports_per_switch,
+        "switches": switches,
+        "processors": processors,
+        "switch_links": links,
+    }
+
+
+def network_from_dict(document: dict[str, Any]) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_dict` output.
+
+    Nodes are re-created in their original id order so that node ids, channel
+    ids and therefore the same-level cross-channel tie-breaks are identical to
+    the original network's.
+    """
+    if document.get("format") != FORMAT:
+        raise TopologyError("document is not a serialised repro network")
+    if document.get("version") != VERSION:
+        raise TopologyError(
+            f"unsupported network format version {document.get('version')!r}"
+        )
+    network = Network(
+        ports_per_switch=document.get("ports_per_switch"),
+        name=document.get("name", "network"),
+    )
+    nodes = sorted(
+        [(entry["id"], "switch", entry) for entry in document["switches"]]
+        + [(entry["id"], "processor", entry) for entry in document["processors"]]
+    )
+    expected = 0
+    switch_links = {(link["a"], link["b"]) for link in document["switch_links"]}
+    # Recreate nodes in id order; processor links are created when the
+    # processor is added, switch links as soon as both endpoints exist (this
+    # reproduces the original channel-creation order for lattice/builder
+    # networks, and any order is functionally equivalent otherwise).
+    pending_links = sorted(switch_links)
+    created: set[int] = set()
+    for node_id, kind, entry in nodes:
+        if node_id != expected:
+            raise TopologyError("node ids must be dense and start at zero")
+        expected += 1
+        if kind == "switch":
+            network.add_switch(entry["label"])
+        else:
+            network.add_processor(entry["switch"], entry["label"])
+        created.add(node_id)
+        for a, b in list(pending_links):
+            if a in created and b in created:
+                network.connect(a, b)
+                pending_links.remove((a, b))
+    if pending_links:
+        raise TopologyError(f"links reference unknown switches: {pending_links}")
+    return network
+
+
+def save_network(network: Network, path: str | Path) -> Path:
+    """Write a network to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_network(path: str | Path) -> Network:
+    """Load a network previously written by :func:`save_network`."""
+    document = json.loads(Path(path).read_text())
+    return network_from_dict(document)

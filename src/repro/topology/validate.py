@@ -1,0 +1,118 @@
+"""Validation of network topologies against the paper's model rules.
+
+The checks here catch malformed hand-built networks early, before they reach
+the routing substrate or the simulator, where a violation would surface as a
+confusing downstream failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+from .channels import LinkRole, NodeKind
+from .network import Network
+
+__all__ = ["ValidationReport", "validate_network"]
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of :func:`validate_network`.
+
+    Attributes
+    ----------
+    ok:
+        ``True`` when no violations were found.
+    violations:
+        Human-readable descriptions of every violated rule.
+    warnings:
+        Non-fatal observations (e.g. switches without processors, which is
+        legal but means those switches can never be sources or destinations).
+    """
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def add_violation(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+    def add_warning(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`TopologyError` summarising all violations."""
+        if not self.ok:
+            raise TopologyError("; ".join(self.violations))
+
+
+def validate_network(network: Network, require_processors: bool = True) -> ValidationReport:
+    """Check a network against the paper's structural rules.
+
+    Rules checked
+    -------------
+    * the network is connected;
+    * every processor has degree exactly one and is attached to a switch;
+    * no two processors are directly connected (enforced at construction but
+      re-verified here for networks deserialised from other sources);
+    * switch degrees respect the port budget when one is configured;
+    * channel bookkeeping is consistent (reverse channel pairs agree).
+
+    Parameters
+    ----------
+    network:
+        Network to validate.
+    require_processors:
+        When ``True`` (default) a network with no processors at all is
+        reported as a violation, because such a network cannot carry any
+        traffic.
+    """
+    report = ValidationReport()
+
+    if network.num_nodes == 0:
+        report.add_violation("network has no nodes")
+        return report
+
+    if not network.is_connected():
+        report.add_violation("network is not connected")
+
+    if require_processors and network.num_processors == 0:
+        report.add_violation("network has no processors; no traffic can be generated")
+
+    for processor in network.processors():
+        if network.degree(processor) != 1:
+            report.add_violation(
+                f"processor {processor} has degree {network.degree(processor)}, expected 1"
+            )
+            continue
+        neighbor = network.neighbors(processor)[0]
+        if network.kind(neighbor) is not NodeKind.SWITCH:
+            report.add_violation(f"processor {processor} is attached to a non-switch node")
+
+    if network.ports_per_switch is not None:
+        for switch in network.switches():
+            if network.degree(switch) > network.ports_per_switch:
+                report.add_violation(
+                    f"switch {switch} has degree {network.degree(switch)} "
+                    f"> port budget {network.ports_per_switch}"
+                )
+
+    for switch in network.switches():
+        if not network.processors_of(switch):
+            report.add_warning(f"switch {switch} has no attached processor")
+
+    for channel in network.channels():
+        reverse = network.channel(channel.reverse_cid)
+        if reverse.src != channel.dst or reverse.dst != channel.src:
+            report.add_violation(
+                f"channel {channel.cid} and its reverse {reverse.cid} are inconsistent"
+            )
+        if channel.role is LinkRole.INTERNAL and (
+            network.kind(channel.src) is not NodeKind.SWITCH
+            or network.kind(channel.dst) is not NodeKind.SWITCH
+        ):
+            report.add_violation(f"internal channel {channel.cid} touches a processor")
+
+    return report

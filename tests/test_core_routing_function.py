@@ -1,0 +1,170 @@
+"""Tests for the SPAM routing function: unicast rules (§3.1) and the
+multicast distribution rule (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multicast import (
+    build_multicast_plan,
+    downtree_outputs,
+    normalize_destinations,
+)
+from repro.core.phases import Phase
+from repro.core.unicast import legal_next_channels, unicast_options
+from repro.errors import RoutingError, WorkloadError
+from repro.spanning.ancestry import Ancestry, node_mask
+from repro.spanning.labeling import label_channels
+from repro.spanning.tree import bfs_spanning_tree
+from repro.topology.irregular import random_irregular_network
+
+
+@pytest.fixture
+def fig1_parts(figure1):
+    tree = bfs_spanning_tree(figure1.network, figure1.root)
+    labeling = label_channels(figure1.network, tree)
+    ancestry = Ancestry(labeling)
+    return figure1, labeling, ancestry
+
+
+class TestUnicastRules:
+    def test_rule1_up_channels_only_from_up_phase(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        up_options = unicast_options(labeling, ancestry, nodes[2], Phase.UP, nodes[8])
+        up_channels = {o.channel.dst for o in up_options if o.next_phase is Phase.UP}
+        assert nodes[1] in up_channels
+        # After a down cross channel, up channels are forbidden.
+        dc_options = unicast_options(labeling, ancestry, nodes[2], Phase.DOWN_CROSS, nodes[8])
+        assert all(o.next_phase is not Phase.UP for o in dc_options)
+
+    def test_rule2_down_cross_requires_extended_ancestor(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        # From node 2, the cross channel to 3 is allowed towards 8 because 3
+        # is an extended ancestor of 8.
+        options = unicast_options(labeling, ancestry, nodes[2], Phase.UP, nodes[8])
+        assert any(
+            o.channel.dst == nodes[3] and o.next_phase is Phase.DOWN_CROSS for o in options
+        )
+        # Towards processor 5 (attached to node 2's own subtree), node 3 is
+        # NOT an extended ancestor, so the cross channel must not be offered.
+        options_to_5 = unicast_options(labeling, ancestry, nodes[3], Phase.UP, nodes[5])
+        assert all(o.channel.dst != nodes[4] or o.next_phase is Phase.UP for o in options_to_5)
+
+    def test_rule2_forbidden_after_down_tree(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        options = unicast_options(labeling, ancestry, nodes[3], Phase.DOWN_TREE, nodes[8])
+        assert all(o.next_phase is Phase.DOWN_TREE for o in options)
+
+    def test_rule3_down_tree_requires_ancestor(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        # At node 4 the only useful down tree channel towards 11 is (4, 7).
+        options = unicast_options(labeling, ancestry, nodes[4], Phase.DOWN_CROSS, nodes[11])
+        tree_moves = [o for o in options if o.next_phase is Phase.DOWN_TREE]
+        assert {o.channel.dst for o in tree_moves} == {nodes[7]}
+
+    def test_rule3_available_in_all_phases(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        for phase in (Phase.UP, Phase.DOWN_CROSS, Phase.DOWN_TREE):
+            options = unicast_options(labeling, ancestry, nodes[6], phase, nodes[9])
+            assert any(o.channel.dst == nodes[9] for o in options)
+
+    def test_consumption_channel_is_final_hop(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        options = unicast_options(labeling, ancestry, nodes[2], Phase.UP, nodes[5])
+        assert any(o.channel.dst == nodes[5] and o.next_phase is Phase.DOWN_TREE for o in options)
+
+    def test_legal_next_channels_raises_at_target(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        with pytest.raises(RoutingError):
+            legal_next_channels(labeling, ancestry, figure1.nodes[4], Phase.UP, figure1.nodes[4])
+
+    def test_never_stuck_in_up_phase(self):
+        """On random topologies the routing function must always offer at
+        least one channel from the UP phase (the worst-case fallback is
+        climbing to the root and descending the tree)."""
+        for seed in range(3):
+            network = random_irregular_network(10, extra_links=5, seed=seed)
+            tree = bfs_spanning_tree(network, network.switches()[0])
+            labeling = label_channels(network, tree)
+            ancestry = Ancestry(labeling)
+            for switch in network.switches():
+                for target in network.processors():
+                    if target == switch:
+                        continue
+                    options = unicast_options(labeling, ancestry, switch, Phase.UP, target)
+                    assert options, f"stuck at {switch} -> {target} (seed {seed})"
+
+
+class TestMulticastRule:
+    def test_normalize_destinations(self, figure1):
+        net = figure1.network
+        nodes = figure1.nodes
+        result = normalize_destinations(net, nodes[5], [nodes[9], nodes[8], nodes[9]])
+        assert result == tuple(sorted([nodes[8], nodes[9]]))
+        with pytest.raises(WorkloadError):
+            normalize_destinations(net, nodes[5], [])
+        with pytest.raises(WorkloadError):
+            normalize_destinations(net, nodes[5], [nodes[5]])
+        with pytest.raises(WorkloadError):
+            normalize_destinations(net, nodes[5], [nodes[4]])  # a switch
+
+    def test_downtree_outputs_at_lca(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        net = figure1.network
+        dest_mask = node_mask(figure1.destinations)
+        outputs = downtree_outputs(net, ancestry, nodes[4], dest_mask)
+        assert {c.dst for c in outputs} == {nodes[6], nodes[7]}
+        outputs6 = downtree_outputs(net, ancestry, nodes[6], dest_mask)
+        assert {c.dst for c in outputs6} == {nodes[8], nodes[9], nodes[10]}
+        outputs7 = downtree_outputs(net, ancestry, nodes[7], dest_mask)
+        assert {c.dst for c in outputs7} == {nodes[11]}
+
+    def test_plan_matches_paper_walkthrough(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        nodes = figure1.nodes
+        plan = build_multicast_plan(
+            figure1.network, ancestry, figure1.source, figure1.destinations
+        )
+        assert plan.lca == nodes[4]
+        assert plan.split_switches == sorted([nodes[4], nodes[6]])
+        assert set(plan.branch_outputs) == {nodes[4], nodes[6], nodes[7]}
+        delivered = {c.dst for c in plan.branch_channels if figure1.network.is_processor(c.dst)}
+        assert delivered == set(figure1.destinations)
+
+    def test_single_destination_plan_is_unicast(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        plan = build_multicast_plan(
+            figure1.network, ancestry, figure1.source, [figure1.destinations[0]]
+        )
+        assert plan.is_unicast
+        assert plan.lca == figure1.destinations[0]
+        assert plan.branch_channels == ()
+
+    def test_plan_covers_destinations_on_random_networks(self):
+        for seed in range(3):
+            network = random_irregular_network(12, extra_links=6, seed=seed)
+            tree = bfs_spanning_tree(network, network.switches()[0])
+            ancestry = Ancestry(label_channels(network, tree))
+            processors = network.processors()
+            source = processors[0]
+            destinations = processors[1:8]
+            plan = build_multicast_plan(network, ancestry, source, destinations)
+            delivered = {c.dst for c in plan.branch_channels if network.is_processor(c.dst)}
+            assert delivered == set(destinations)
+            # Every branch channel is a down tree channel (parent -> child).
+            for channel in plan.branch_channels:
+                assert tree.parent(channel.dst) == channel.src
+
+    def test_plan_rejects_switch_source(self, fig1_parts):
+        figure1, labeling, ancestry = fig1_parts
+        with pytest.raises(WorkloadError):
+            build_multicast_plan(
+                figure1.network, ancestry, figure1.nodes[4], figure1.destinations
+            )

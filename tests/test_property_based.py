@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests generate random irregular topologies, random roots and random
+destination sets and check the structural invariants the paper's proofs rely
+on:
+
+* the channel labelling is a partition (every channel has exactly one label,
+  a channel and its reverse have opposite orientations);
+* up channels and down channels are both acyclic sub-networks;
+* the routing function always offers a legal channel and greedy routes
+  terminate with monotone phases;
+* multicast plans cover exactly the destination set with down-tree channels;
+* the end-to-end simulator delivers every message (deadlock/livelock freedom
+  under the full protocol) and latency accounting is consistent.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.multicast import build_multicast_plan
+from repro.core.spam import SpamRouting
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.spanning.ancestry import Ancestry, node_mask
+from repro.spanning.labeling import label_channels
+from repro.spanning.tree import bfs_spanning_tree
+from repro.topology.irregular import random_irregular_network
+
+# Hypothesis strategy building blocks -------------------------------------
+
+network_params = st.tuples(
+    st.integers(min_value=4, max_value=14),   # switches
+    st.integers(min_value=0, max_value=10),   # extra links
+    st.integers(min_value=0, max_value=2**16),  # topology seed
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+FAST_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_network(params):
+    switches, extra, seed = params
+    return random_irregular_network(switches, extra_links=extra, seed=seed)
+
+
+def build_spam(params, root_index=0):
+    network = build_network(params)
+    switches = network.switches()
+    root = switches[root_index % len(switches)]
+    return network, SpamRouting.build(network, root=root)
+
+
+# Labelling invariants -----------------------------------------------------
+
+
+@FAST_SETTINGS
+@given(params=network_params, root_index=st.integers(min_value=0, max_value=100))
+def test_labeling_is_a_partition(params, root_index):
+    network = build_network(params)
+    switches = network.switches()
+    root = switches[root_index % len(switches)]
+    labeling = label_channels(network, bfs_spanning_tree(network, root))
+    for channel in network.channels():
+        label = labeling.label(channel)
+        reverse = labeling.label(network.channel(channel.reverse_cid))
+        assert label.orientation != reverse.orientation
+        assert label.kind == reverse.kind
+    counts = labeling.counts()
+    assert sum(counts.values()) == network.num_channels
+
+
+@FAST_SETTINGS
+@given(params=network_params, root_index=st.integers(min_value=0, max_value=100))
+def test_up_and_down_subnetworks_are_acyclic(params, root_index):
+    network = build_network(params)
+    switches = network.switches()
+    root = switches[root_index % len(switches)]
+    labeling = label_channels(network, bfs_spanning_tree(network, root))
+    up_graph = nx.DiGraph()
+    down_graph = nx.DiGraph()
+    for channel in network.channels():
+        if labeling.is_up(channel):
+            up_graph.add_edge(channel.src, channel.dst)
+        else:
+            down_graph.add_edge(channel.src, channel.dst)
+    assert nx.is_directed_acyclic_graph(up_graph)
+    assert nx.is_directed_acyclic_graph(down_graph)
+
+
+@FAST_SETTINGS
+@given(params=network_params)
+def test_extended_ancestors_contain_tree_ancestors(params):
+    network = build_network(params)
+    labeling = label_channels(network, bfs_spanning_tree(network, network.switches()[0]))
+    ancestry = Ancestry(labeling)
+    root = ancestry.tree.root
+    for node in network.nodes():
+        anc = ancestry.ancestor_mask(node)
+        ext = ancestry.extended_ancestor_mask(node)
+        assert ext & anc == anc
+        assert ancestry.is_ancestor(root, node)
+        assert ancestry.is_extended_ancestor(root, node)
+        assert ancestry.is_ancestor(node, node)
+
+
+# Routing invariants --------------------------------------------------------
+
+
+@FAST_SETTINGS
+@given(
+    params=network_params,
+    pair_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_unicast_routes_terminate_with_monotone_phases(params, pair_seed):
+    network, spam = build_spam(params, root_index=pair_seed)
+    processors = network.processors()
+    source = processors[pair_seed % len(processors)]
+    destination = processors[(pair_seed // 7 + 1) % len(processors)]
+    if source == destination:
+        destination = processors[(processors.index(source) + 1) % len(processors)]
+    path = spam.unicast_route(source, destination)
+    assert path[0].src == source
+    assert path[-1].dst == destination
+    assert len(path) <= 2 * network.num_nodes
+    rank = 0
+    for channel in path:
+        label = spam.labeling.label(channel)
+        new_rank = 0 if label.is_up else (1 if label.is_down_cross else 2)
+        assert new_rank >= rank
+        rank = max(rank, new_rank)
+    # No channel is used twice.
+    cids = [channel.cid for channel in path]
+    assert len(set(cids)) == len(cids)
+
+
+@FAST_SETTINGS
+@given(
+    params=network_params,
+    dest_seed=st.integers(min_value=0, max_value=2**16),
+    count=st.integers(min_value=1, max_value=10),
+)
+def test_multicast_plan_covers_exactly_destinations(params, dest_seed, count):
+    network, spam = build_spam(params)
+    processors = network.processors()
+    source = processors[dest_seed % len(processors)]
+    others = [p for p in processors if p != source]
+    count = min(count, len(others))
+    step = max(1, len(others) // count)
+    destinations = others[::step][:count]
+    plan = build_multicast_plan(network, spam.ancestry, source, destinations)
+    assert plan.destinations == tuple(sorted(destinations))
+    # The LCA is a tree ancestor of every destination.
+    for dest in destinations:
+        assert spam.ancestry.is_ancestor(plan.lca, dest)
+    if not plan.is_unicast:
+        covered = {
+            channel.dst for channel in plan.branch_channels if network.is_processor(channel.dst)
+        }
+        assert covered == set(destinations)
+        # Branch channels are tree edges oriented away from the root and are
+        # all within the LCA's subtree.
+        lca_subtree = spam.ancestry.subtree_mask(plan.lca)
+        for channel in plan.branch_channels:
+            assert spam.ancestry.tree.parent(channel.dst) == channel.src
+            assert lca_subtree >> channel.dst & 1
+
+
+# End-to-end simulation invariants -------------------------------------------
+
+
+@SLOW_SETTINGS
+@given(
+    params=network_params,
+    workload_seed=st.integers(min_value=0, max_value=2**16),
+    num_messages=st.integers(min_value=1, max_value=12),
+    length=st.sampled_from([2, 4, 16]),
+)
+def test_simulator_delivers_every_message(params, workload_seed, num_messages, length):
+    import numpy as np
+
+    network, spam = build_spam(params)
+    config = SimulationConfig(message_length_flits=length)
+    simulator = WormholeSimulator(network, spam, config)
+    rng = np.random.default_rng(workload_seed)
+    processors = network.processors()
+    submitted = []
+    for index in range(num_messages):
+        source = processors[int(rng.integers(0, len(processors)))]
+        others = [p for p in processors if p != source]
+        k = int(rng.integers(1, min(6, len(others)) + 1))
+        chosen = rng.choice(len(others), size=k, replace=False)
+        destinations = [others[int(i)] for i in chosen]
+        at_ns = int(rng.integers(0, 5_000))
+        submitted.append(simulator.submit_message(source, destinations, at_ns=at_ns))
+    stats = simulator.run()
+
+    assert stats.messages_completed == num_messages
+    for message in submitted:
+        assert message.is_complete
+        assert set(message.delivered_ns) == set(message.destinations)
+        # Latency accounting: completion after startup, startup after creation.
+        assert message.startup_began_ns >= message.created_ns
+        assert message.completed_ns > message.startup_began_ns
+        assert message.latency_from_creation_ns >= message.latency_from_startup_ns
+        # A worm visits at least one switch per destination-reaching path and
+        # never more switches than the hop-limit allows.
+        assert 1 <= message.hops <= config.max_hops

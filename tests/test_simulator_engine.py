@@ -1,0 +1,267 @@
+"""Integration tests for the flit-level wormhole simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spam import SpamRouting
+from repro.errors import ConfigurationError, DeadlockError, WorkloadError
+from repro.routing.naive import NaiveMinimalRouting
+from repro.routing.updown import UpDownRouting
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.topology.examples import figure1_network
+from repro.topology.irregular import lattice_irregular_network
+
+
+def expected_idle_unicast_latency(config: SimulationConfig, hops: int) -> int:
+    """Closed-form latency of a unicast through an idle network.
+
+    ``hops`` is the number of channels on the path (injection + switch
+    channels + consumption).  The head pays the startup, one router setup per
+    switch traversed, and one channel latency per channel; the remaining
+    flits then stream in behind it at one flit per channel cycle.
+    """
+    switches = hops - 1  # every channel except the injection one ends a hop into a router/processor
+    head = (
+        config.startup_latency_ns
+        + hops * config.channel_latency_ns
+        + (hops - 1) * config.router_setup_ns
+    )
+    return head + (config.message_length_flits - 1) * config.channel_latency_ns
+
+
+class TestUnicastTiming:
+    def test_idle_unicast_latency_matches_closed_form(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        message = simulator.submit_message(source, [dest])
+        simulator.run()
+        path = spam.unicast_route(source, dest)
+        expected = expected_idle_unicast_latency(short_config, len(path))
+        assert message.latency_from_startup_ns == expected
+
+    def test_latency_grows_with_path_length(self, line5, short_config):
+        spam = SpamRouting.build(line5, root=line5.node_by_label("s0"))
+        processors = line5.processors()
+        latencies = []
+        for dest in processors[1:]:
+            simulator = WormholeSimulator(line5, spam, short_config)
+            message = simulator.submit_message(processors[0], [dest])
+            simulator.run()
+            latencies.append(message.latency_from_startup_ns)
+        assert latencies == sorted(latencies)
+        assert len(set(latencies)) == len(latencies)
+
+    def test_longer_messages_take_longer(self, two_switch):
+        spam = SpamRouting.build(two_switch)
+        source, dest = two_switch.processors()
+        results = []
+        for length in (8, 64, 128):
+            simulator = WormholeSimulator(two_switch, spam, SimulationConfig(message_length_flits=length))
+            message = simulator.submit_message(source, [dest])
+            simulator.run()
+            results.append(message.latency_from_startup_ns)
+        assert results[0] < results[1] < results[2]
+        # Each additional flit costs exactly one channel cycle at the bottleneck.
+        assert results[1] - results[0] == 56 * 10
+        assert results[2] - results[1] == 64 * 10
+
+    def test_startup_latency_dominates_idle_latency(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        message = simulator.submit_message(source, [dest])
+        simulator.run()
+        assert message.latency_from_startup_ns > short_config.startup_latency_ns
+        assert message.latency_from_startup_ns < 2 * short_config.startup_latency_ns
+
+
+class TestMulticastBehaviour:
+    def test_figure1_multicast_delivers_to_all(self, figure1, short_config):
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        simulator = WormholeSimulator(figure1.network, spam, short_config)
+        message = simulator.submit_message(figure1.source, figure1.destinations)
+        stats = simulator.run()
+        assert message.is_complete
+        assert set(message.delivered_ns) == set(figure1.destinations)
+        assert stats.messages_completed == 1
+
+    def test_multicast_latency_close_to_unicast(self, lattice32, short_config):
+        """The paper's headline: one worm reaches many destinations for
+        roughly the cost of one unicast (same startup, slightly longer tree)."""
+        spam = SpamRouting.build(lattice32)
+        processors = lattice32.processors()
+
+        uni = WormholeSimulator(lattice32, spam, short_config)
+        unicast = uni.submit_message(processors[0], [processors[5]])
+        uni.run()
+
+        multi = WormholeSimulator(lattice32, spam, short_config)
+        multicast = multi.submit_message(processors[0], processors[1:17])
+        multi.run()
+
+        assert multicast.latency_from_startup_ns < 2 * unicast.latency_from_startup_ns
+
+    def test_broadcast_delivers_to_every_processor(self, lattice32, short_config):
+        spam = SpamRouting.build(lattice32)
+        simulator = WormholeSimulator(lattice32, spam, short_config)
+        source = lattice32.processors()[0]
+        message = simulator.submit_broadcast(source)
+        simulator.run()
+        assert message.is_complete
+        assert len(message.delivered_ns) == lattice32.num_processors - 1
+
+    def test_multicast_single_startup(self, lattice32, short_config):
+        """A 16-destination multicast must incur exactly one startup: its
+        latency stays far below two startup latencies."""
+        spam = SpamRouting.build(lattice32)
+        simulator = WormholeSimulator(lattice32, spam, short_config)
+        source = lattice32.processors()[0]
+        message = simulator.submit_message(source, lattice32.processors()[1:17])
+        simulator.run()
+        assert message.latency_from_startup_ns < 2 * short_config.startup_latency_ns
+
+    def test_delivery_and_completion_callbacks(self, figure1, short_config):
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        simulator = WormholeSimulator(figure1.network, spam, short_config)
+        deliveries = []
+        completions = []
+        simulator.delivery_callbacks.append(lambda m, d, t: deliveries.append((m.mid, d)))
+        simulator.completion_callbacks.append(lambda m: completions.append(m.mid))
+        message = simulator.submit_message(figure1.source, figure1.destinations)
+        simulator.run()
+        assert sorted(d for _, d in deliveries) == sorted(figure1.destinations)
+        assert completions == [message.mid]
+
+    def test_trace_records_paper_event_sequence(self, figure1):
+        config = SimulationConfig(message_length_flits=8, trace=True)
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        simulator = WormholeSimulator(figure1.network, spam, config)
+        simulator.submit_message(figure1.source, figure1.destinations)
+        simulator.run()
+        trace = simulator.trace
+        assert trace is not None
+        kinds = [event.kind for event in trace.events]
+        assert "startup" in kinds and "acquire" in kinds and "complete" in kinds
+        # The worm must acquire channels at the LCA (node 4) for both subtrees.
+        acquires = [e for e in trace.of_kind("acquire") if e.fields["switch"] == figure1.lca]
+        assert acquires and len(acquires[0].fields["channels"]) == 2
+
+
+class TestContention:
+    def test_two_messages_share_a_channel_serially(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        first = simulator.submit_message(source, [dest], at_ns=0)
+        second = simulator.submit_message(source, [dest], at_ns=0)
+        simulator.run()
+        assert first.is_complete and second.is_complete
+        # The second message queues behind the first at the source NI.
+        assert second.completed_ns > first.completed_ns
+        assert second.latency_from_creation_ns > first.latency_from_creation_ns
+
+    def test_contending_multicasts_all_complete(self, lattice32, short_config):
+        spam = SpamRouting.build(lattice32)
+        simulator = WormholeSimulator(lattice32, spam, short_config)
+        processors = lattice32.processors()
+        messages = []
+        for index in range(6):
+            source = processors[index]
+            destinations = [p for p in processors[8:20] if p != source]
+            messages.append(simulator.submit_message(source, destinations, at_ns=0))
+        simulator.run()
+        assert all(message.is_complete for message in messages)
+
+    def test_under_load_latency_increases(self, lattice32, short_config):
+        spam = SpamRouting.build(lattice32)
+        processors = lattice32.processors()
+
+        light = WormholeSimulator(lattice32, spam, short_config)
+        light_msg = light.submit_message(processors[0], [processors[9]])
+        light.run()
+
+        heavy = WormholeSimulator(lattice32, spam, short_config)
+        for index in range(1, 8):
+            heavy.submit_message(processors[index], [processors[9]], at_ns=0)
+        heavy_msg = heavy.submit_message(processors[0], [processors[9]], at_ns=0)
+        heavy.run()
+        assert heavy_msg.latency_from_creation_ns >= light_msg.latency_from_creation_ns
+
+    def test_stats_summary_counts(self, lattice32, short_config):
+        spam = SpamRouting.build(lattice32)
+        simulator = WormholeSimulator(lattice32, spam, short_config)
+        processors = lattice32.processors()
+        simulator.submit_message(processors[0], [processors[3]])
+        simulator.submit_message(processors[1], processors[4:8])
+        stats = simulator.run()
+        summary = stats.summary()
+        assert summary["messages_submitted"] == 2
+        assert summary["messages_completed"] == 2
+        assert stats.completion_ratio == 1.0
+        assert len(stats.unicast_records()) == 1
+        assert len(stats.multicast_records()) == 1
+
+
+class TestValidationAndSafety:
+    def test_submit_rejects_invalid_endpoints(self, figure1, short_config):
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        simulator = WormholeSimulator(figure1.network, spam, short_config)
+        with pytest.raises(ConfigurationError):
+            simulator.submit_message(figure1.nodes[4], [figure1.nodes[8]])
+        with pytest.raises(WorkloadError):
+            simulator.submit_message(figure1.source, [figure1.source])
+        with pytest.raises(WorkloadError):
+            simulator.submit_message(figure1.source, [figure1.nodes[4]])
+
+    def test_channel_stats_collection(self, figure1):
+        config = SimulationConfig(message_length_flits=8, collect_channel_stats=True)
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        simulator = WormholeSimulator(figure1.network, spam, config)
+        simulator.submit_message(figure1.source, figure1.destinations)
+        stats = simulator.run()
+        assert stats.channel_records
+        carried = sum(record.data_flits for record in stats.channel_records)
+        assert carried > 0
+
+    def test_deadlock_detected_with_naive_routing_on_ring(self, ring8):
+        """Naive minimal routing on a ring deadlocks under all-to-neighbour
+        pressure; the simulator must detect and explain it rather than hang."""
+        naive = NaiveMinimalRouting(ring8)
+        config = SimulationConfig(message_length_flits=64, deadlock_detection=True)
+        simulator = WormholeSimulator(ring8, naive, config)
+        processors = ring8.processors()
+        count = len(processors)
+        # Every processor sends two switches clockwise at the same instant.
+        for index, source in enumerate(processors):
+            target = processors[(index + 2) % count]
+            simulator.submit_message(source, [target], at_ns=0)
+        with pytest.raises(DeadlockError) as excinfo:
+            simulator.run()
+        report = excinfo.value.report
+        assert report.stalled_messages
+        assert report.has_circular_wait
+
+    def test_spam_does_not_deadlock_on_same_pressure(self, ring8):
+        spam = SpamRouting.build(ring8)
+        config = SimulationConfig(message_length_flits=64, deadlock_detection=True)
+        simulator = WormholeSimulator(ring8, spam, config)
+        processors = ring8.processors()
+        count = len(processors)
+        for index, source in enumerate(processors):
+            target = processors[(index + 2) % count]
+            simulator.submit_message(source, [target], at_ns=0)
+        stats = simulator.run()
+        assert stats.messages_completed == count
+
+    def test_run_until_partial_then_resume(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        message = simulator.submit_message(source, [dest])
+        simulator.run(until_ns=short_config.startup_latency_ns // 2)
+        assert not message.is_complete
+        simulator.run()
+        assert message.is_complete

@@ -1,0 +1,228 @@
+"""Unit tests for the simulator's building blocks (flits, buffers, OCRQs,
+event queue, configuration, messages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.simulator.buffers import FlitBuffer
+from repro.simulator.config import PAPER_CONFIG, SimulationConfig
+from repro.simulator.events import EventQueue
+from repro.simulator.flit import Flit, FlitKind, make_worm_flits
+from repro.simulator.message import Message, MessageKind
+from repro.simulator.ocrq import OutputChannelRequestQueue
+
+
+class TestFlit:
+    def test_kinds(self):
+        head = Flit(FlitKind.HEAD, 1, 0)
+        tail = Flit(FlitKind.TAIL, 1, 7)
+        bubble = Flit(FlitKind.BUBBLE, 1, 3)
+        assert head.is_head and head.is_data
+        assert tail.is_tail and tail.is_data
+        assert bubble.is_bubble and not bubble.is_data
+
+    def test_make_worm_flits(self):
+        flits = make_worm_flits(5, 6)
+        assert len(flits) == 6
+        assert flits[0].is_head
+        assert flits[-1].is_tail
+        assert all(f.kind is FlitKind.BODY for f in flits[1:-1])
+        assert [f.seq for f in flits] == list(range(6))
+        assert all(f.message_id == 5 for f in flits)
+
+
+class TestFlitBuffer:
+    def test_fifo_order(self):
+        buffer = FlitBuffer(3)
+        flits = make_worm_flits(0, 3)
+        for flit in flits:
+            buffer.push(flit)
+        assert buffer.is_full
+        assert [buffer.pop().seq for _ in range(3)] == [0, 1, 2]
+        assert buffer.is_empty
+
+    def test_capacity_enforced(self):
+        buffer = FlitBuffer(1)
+        buffer.push(Flit(FlitKind.HEAD, 0, 0))
+        with pytest.raises(SimulationError):
+            buffer.push(Flit(FlitKind.BODY, 0, 1))
+
+    def test_pop_and_peek_empty_raise(self):
+        buffer = FlitBuffer(1)
+        with pytest.raises(SimulationError):
+            buffer.pop()
+        with pytest.raises(SimulationError):
+            buffer.peek()
+
+    def test_occupancy_accounting(self):
+        buffer = FlitBuffer(2)
+        assert buffer.free_slots == 2
+        buffer.push(Flit(FlitKind.HEAD, 0, 0))
+        assert buffer.occupancy == 1
+        assert buffer.free_slots == 1
+        assert len(buffer) == 1
+        assert buffer.flits()[0].is_head
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            FlitBuffer(0)
+
+
+class _FakeSegment:
+    def __init__(self, mid):
+        self.message = type("M", (), {"mid": mid})()
+
+    def try_acquire(self):  # pragma: no cover - not exercised here
+        pass
+
+
+class TestOcrq:
+    def test_fifo_and_head(self):
+        ocrq = OutputChannelRequestQueue()
+        a, b = _FakeSegment(1), _FakeSegment(2)
+        assert ocrq.is_empty and ocrq.head() is None
+        ocrq.enqueue(a)
+        ocrq.enqueue(b)
+        assert ocrq.head() is a
+        assert ocrq.waiting_message_ids() == (1, 2)
+        ocrq.pop_head(a)
+        assert ocrq.head() is b
+
+    def test_duplicate_enqueue_rejected(self):
+        ocrq = OutputChannelRequestQueue()
+        a = _FakeSegment(1)
+        ocrq.enqueue(a)
+        with pytest.raises(SimulationError):
+            ocrq.enqueue(a)
+
+    def test_pop_requires_head(self):
+        ocrq = OutputChannelRequestQueue()
+        a, b = _FakeSegment(1), _FakeSegment(2)
+        ocrq.enqueue(a)
+        ocrq.enqueue(b)
+        with pytest.raises(SimulationError):
+            ocrq.pop_head(b)
+
+    def test_remove(self):
+        ocrq = OutputChannelRequestQueue()
+        a, b = _FakeSegment(1), _FakeSegment(2)
+        ocrq.enqueue(a)
+        ocrq.enqueue(b)
+        ocrq.remove(b)
+        assert len(ocrq) == 1
+        with pytest.raises(SimulationError):
+            ocrq.remove(b)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(30, lambda: seen.append("c"))
+        queue.schedule(10, lambda: seen.append("a"))
+        queue.schedule(20, lambda: seen.append("b"))
+        while not queue.is_empty:
+            _, callback = queue.pop()
+            callback()
+        assert seen == ["a", "b", "c"]
+        assert queue.now == 30
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        seen = []
+        for index in range(5):
+            queue.schedule(7, lambda i=index: seen.append(i))
+        while not queue.is_empty:
+            queue.pop()[1]()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_scheduling_in_the_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule(5, lambda: None)
+
+    def test_schedule_after_and_next_time(self):
+        queue = EventQueue(start_ns=100)
+        queue.schedule_after(50, lambda: None)
+        assert queue.next_time() == 150
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.startup_latency_ns == 10_000
+        assert PAPER_CONFIG.router_setup_ns == 40
+        assert PAPER_CONFIG.channel_latency_ns == 10
+        assert PAPER_CONFIG.message_length_flits == 128
+        assert PAPER_CONFIG.input_buffer_depth == 1
+        assert PAPER_CONFIG.serialization_latency_ns == 1280
+
+    def test_with_overrides(self):
+        config = PAPER_CONFIG.with_overrides(message_length_flits=16, trace=True)
+        assert config.message_length_flits == 16
+        assert config.trace
+        assert PAPER_CONFIG.message_length_flits == 128  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"startup_latency_ns": -1},
+            {"channel_latency_ns": 0},
+            {"message_length_flits": 1},
+            {"input_buffer_depth": 0},
+            {"max_hops": 1},
+            {"router_setup_ns": -5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+
+class TestMessage:
+    def test_kind_and_normalisation(self):
+        message = Message(0, source=9, destinations=[3, 1, 3], length_flits=4, created_ns=5)
+        assert message.destinations == (1, 3)
+        assert message.kind is MessageKind.MULTICAST
+        assert message.num_destinations == 2
+        unicast = Message(1, source=9, destinations=[2], length_flits=4, created_ns=0)
+        assert unicast.kind is MessageKind.UNICAST
+
+    def test_invalid_messages_rejected(self):
+        with pytest.raises(WorkloadError):
+            Message(0, source=1, destinations=[], length_flits=4, created_ns=0)
+        with pytest.raises(WorkloadError):
+            Message(0, source=1, destinations=[1], length_flits=4, created_ns=0)
+        with pytest.raises(WorkloadError):
+            Message(0, source=1, destinations=[2], length_flits=1, created_ns=0)
+
+    def test_delivery_and_latency_accounting(self):
+        message = Message(0, source=0, destinations=[1, 2], length_flits=4, created_ns=100)
+        message.startup_began_ns = 150
+        assert message.record_delivery(1, 500) is False
+        assert message.record_delivery(2, 900) is True
+        assert message.is_complete
+        assert message.completed_ns == 900
+        assert message.latency_from_creation_ns == 800
+        assert message.latency_from_startup_ns == 750
+        # Duplicate delivery does not change the completion time.
+        message.record_delivery(1, 1000)
+        assert message.completed_ns == 900
+
+    def test_delivery_to_wrong_destination_rejected(self):
+        message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=0)
+        with pytest.raises(WorkloadError):
+            message.record_delivery(7, 10)
+
+    def test_latencies_none_before_completion(self):
+        message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=0)
+        assert message.latency_from_creation_ns is None
+        assert message.latency_from_startup_ns is None

@@ -1,0 +1,133 @@
+"""Tests for ancestor / extended-ancestor relations (paper Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spanning.ancestry import Ancestry, node_mask
+from repro.spanning.labeling import label_channels
+from repro.spanning.tree import bfs_spanning_tree
+from repro.topology.irregular import random_irregular_network
+
+
+@pytest.fixture
+def figure1_ancestry(figure1):
+    tree = bfs_spanning_tree(figure1.network, figure1.root)
+    labeling = label_channels(figure1.network, tree)
+    return Ancestry(labeling)
+
+
+class TestNodeMask:
+    def test_empty(self):
+        assert node_mask([]) == 0
+
+    def test_bits(self):
+        assert node_mask([0, 2, 5]) == 0b100101
+
+    def test_duplicates_idempotent(self):
+        assert node_mask([3, 3, 3]) == 8
+
+
+class TestTreeAncestry:
+    def test_ancestors_include_self_and_root(self, figure1, figure1_ancestry):
+        nodes = figure1.nodes
+        ancestors = figure1_ancestry.ancestors(nodes[8])
+        assert set(ancestors) == {nodes[8], nodes[6], nodes[4], nodes[1]}
+
+    def test_is_ancestor_matches_tree(self, figure1, figure1_ancestry):
+        nodes = figure1.nodes
+        assert figure1_ancestry.is_ancestor(nodes[4], nodes[11])
+        assert figure1_ancestry.is_ancestor(nodes[11], nodes[11])
+        assert not figure1_ancestry.is_ancestor(nodes[6], nodes[11])
+        assert not figure1_ancestry.is_ancestor(nodes[8], nodes[9])
+
+    def test_subtree_masks(self, figure1, figure1_ancestry):
+        nodes = figure1.nodes
+        descendants = set(figure1_ancestry.descendants(nodes[6]))
+        assert descendants == {nodes[6], nodes[8], nodes[9], nodes[10]}
+        # Root subtree covers everything.
+        assert figure1_ancestry.subtree_mask(nodes[1]) == node_mask(figure1.network.nodes())
+
+    def test_covers_all(self, figure1, figure1_ancestry):
+        nodes = figure1.nodes
+        dest_mask = node_mask([nodes[8], nodes[9]])
+        assert figure1_ancestry.covers_all(nodes[6], dest_mask)
+        assert figure1_ancestry.covers_all(nodes[4], dest_mask)
+        assert not figure1_ancestry.covers_all(nodes[7], dest_mask)
+
+    def test_lca_delegates_to_tree(self, figure1, figure1_ancestry):
+        nodes = figure1.nodes
+        assert figure1_ancestry.lca([nodes[8], nodes[11]]) == nodes[4]
+        assert figure1_ancestry.lca([nodes[9]]) == nodes[9]
+
+
+class TestExtendedAncestry:
+    def test_paper_example(self, figure1, figure1_ancestry):
+        """Vertices 2 and 3 are extended ancestors of 8 (via cross channels
+        2->3->4 followed by tree channels 4->6->8) — this is what legitimises
+        the paper's route 5 -> 2 -> 3 -> 4 for the multicast to {8,9,10,11}."""
+        nodes = figure1.nodes
+        extended = set(figure1_ancestry.extended_ancestors(nodes[8]))
+        assert {nodes[1], nodes[2], nodes[3], nodes[4], nodes[6], nodes[8]} == extended
+
+    def test_extended_superset_of_tree_ancestors(self, figure1, figure1_ancestry):
+        for node in figure1.network.nodes():
+            anc = figure1_ancestry.ancestor_mask(node)
+            ext = figure1_ancestry.extended_ancestor_mask(node)
+            assert ext & anc == anc
+
+    def test_extended_ancestors_of_processor_5(self, figure1, figure1_ancestry):
+        """No cross channel leads into vertex 2's subtree, so the extended
+        ancestors of processor 5 are exactly its tree ancestors."""
+        nodes = figure1.nodes
+        assert set(figure1_ancestry.extended_ancestors(nodes[5])) == {
+            nodes[1], nodes[2], nodes[5]
+        }
+
+    def test_definition_on_random_networks(self):
+        """Cross-check the bitmask computation against a brute-force
+        enumeration of Definition 1 on small random irregular networks."""
+        for seed in range(4):
+            network = random_irregular_network(8, extra_links=6, seed=seed)
+            tree = bfs_spanning_tree(network, network.switches()[0])
+            labeling = label_channels(network, tree)
+            ancestry = Ancestry(labeling)
+
+            # Brute force: u is an extended ancestor of v iff there is a path
+            # of zero or more down-cross channels followed by zero or more
+            # down-tree channels from u to v.
+            def brute_force_extended(v: int) -> set[int]:
+                # nodes that can reach v via down-tree channels only
+                tree_reach = {v}
+                changed = True
+                while changed:
+                    changed = False
+                    for channel in network.channels():
+                        if labeling.is_down_tree(channel) and channel.dst in tree_reach:
+                            if channel.src not in tree_reach:
+                                tree_reach.add(channel.src)
+                                changed = True
+                # prepend down-cross paths
+                full = set(tree_reach)
+                changed = True
+                while changed:
+                    changed = False
+                    for channel in network.channels():
+                        if labeling.is_down_cross(channel) and channel.dst in full:
+                            if channel.src not in full:
+                                full.add(channel.src)
+                                changed = True
+                return full
+
+            for v in network.nodes():
+                expected = brute_force_extended(v)
+                actual = set(ancestry.extended_ancestors(v))
+                assert actual == expected, f"seed={seed} node={v}"
+
+    def test_brute_force_tree_ancestors(self):
+        network = random_irregular_network(10, extra_links=4, seed=11)
+        tree = bfs_spanning_tree(network, network.switches()[0])
+        ancestry = Ancestry(label_channels(network, tree))
+        for v in network.nodes():
+            expected = set(tree.path_to_root(v))
+            assert set(ancestry.ancestors(v)) == expected
