@@ -78,6 +78,18 @@ class FlitBuffer:
         """Snapshot of the buffer contents, oldest first (for diagnostics)."""
         return tuple(self._slots)
 
+    def replace_contents(self, flits) -> None:
+        """Replace the whole buffer contents, oldest first.
+
+        Used by the engine's steady-state fast path to substitute the flits
+        that a batch of coalesced ticks would have left here; fresh flit
+        objects avoid any aliasing with flits held elsewhere.
+        """
+        slots = deque(flits)
+        if len(slots) > self.capacity:
+            raise SimulationError("replacement exceeds buffer capacity")
+        self._slots = slots
+
     def __len__(self) -> int:
         return len(self._slots)
 

@@ -56,6 +56,13 @@ class SimulationConfig:
     trace:
         Record a structured event trace (for debugging and for the Figure 1
         walk-through example).  Expensive; never enable for sweeps.
+    fast_path:
+        Enable the steady-state event-coalescing fast path (default on).
+        The fast path batch-advances body flits once every worm segment in a
+        streaming phase is ``ACTIVE`` and produces bit-identical timestamps,
+        traces and statistics; turn it off to force the reference per-flit
+        execution (useful when stepping through the engine, and exercised by
+        the trace-equivalence tests).
     """
 
     startup_latency_ns: int = 10_000
@@ -68,6 +75,7 @@ class SimulationConfig:
     deadlock_detection: bool = True
     collect_channel_stats: bool = False
     trace: bool = False
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.startup_latency_ns < 0:

@@ -17,11 +17,44 @@ The engine is deliberately policy-free: all routing behaviour comes from the
 :class:`~repro.core.interface.RoutingAlgorithm` passed in, which is how SPAM,
 the up*/down* baseline and deliberately broken algorithms (for the deadlock
 tests) all run on the same substrate.
+
+Steady-state fast path
+----------------------
+
+The dominant cost of a run is one heap event per flit per hop.  Most of
+those events occur during *steady-state streaming*: every worm segment is
+``ACTIVE`` with all output channels acquired, every busy link completes one
+**body** flit per ``channel_latency_ns``, and the system state repeats
+tick after tick except that each flit sequence number advances by one.
+
+When ``SimulationConfig.fast_path`` is enabled (the default), the engine
+detects this situation and coalesces it: it executes one full tick through
+the ordinary per-flit machinery, verifies that the tick was *self-similar*
+(identical link/segment/NI state with every moved flit a body flit shifted
+by exactly one sequence number, no trace output, no bubbles, no completions),
+and then replays ``k`` further ticks arithmetically — flit sequence numbers,
+source-NI cursors, ``flit_hops``, per-channel counters, busy-time accounting
+and the pending transfer deadlines are all advanced in O(links) instead of
+O(k × links) heap events.  ``k`` is capped so the batch ends strictly before
+the first non-transfer event, before any head or tail flit would move, and
+before a bounded run's window boundary.
+
+**Equivalence guarantee:** because the verification tick *is* the reference
+execution and self-similarity is checked structurally (buffer contents,
+segment states, event order), every observable quantity — delivery
+timestamps, :class:`~repro.simulator.trace.Trace` records, message records,
+``flit_hops``, bubble counts and per-channel statistics — is bit-identical
+to a run with ``fast_path=False``.  The trace-equivalence tests in
+``tests/test_fast_path.py`` assert this on the Figure 1 network and on
+irregular lattice networks, including scenarios with asynchronous-replication
+bubbles, OCRQ contention and bounded ``run_for`` windows.  Anything the
+verifier cannot prove self-similar simply runs on the per-flit substrate.
 """
 
 from __future__ import annotations
 
 from functools import partial
+from heapq import heappop
 from typing import Callable, Iterable, Sequence
 
 from ..core.interface import RoutingAlgorithm
@@ -31,7 +64,7 @@ from ..topology.network import Network
 from .config import SimulationConfig
 from .deadlock import DeadlockReport, diagnose
 from .events import EventQueue
-from .flit import Flit
+from .flit import Flit, FlitKind
 from .links import LinkState
 from .message import Message
 from .router import SourceInterface, WormSegment
@@ -44,6 +77,17 @@ __all__ = ["WormholeSimulator"]
 DeliveryCallback = Callable[[Message, int, int], None]
 #: Signature of a message-completion callback.
 CompletionCallback = Callable[[Message], None]
+
+#: Minimum number of coalescible ticks for a batch advance to be worthwhile;
+#: below this the snapshot/verify overhead exceeds the saved heap traffic.
+_MIN_BATCH_TICKS = 4
+
+#: Ticks to wait before re-probing after a failed self-similarity check.
+#: Failures cluster in churn phases (head crawls, drains, bubble storms)
+#: where re-snapshotting every tick would cost more than it saves; repeated
+#: failures double the backoff up to the cap below.
+_COALESCE_BACKOFF_TICKS = 8
+_COALESCE_BACKOFF_MAX_TICKS = 64
 
 
 class WormholeSimulator:
@@ -102,6 +146,18 @@ class WormholeSimulator:
         self._next_mid = 0
         self.delivery_callbacks: list[DeliveryCallback] = []
         self.completion_callbacks: list[CompletionCallback] = []
+        # Hot-path caches (attribute chains are expensive in the event loop).
+        self._collect_stats = self.config.collect_channel_stats
+        # Fast-path bookkeeping: earliest time a coalesce attempt is allowed.
+        # Each tick is probed at most once, and an attempt that paid for a
+        # snapshot but failed verification backs off for a few ticks (failed
+        # verifications cluster in churn phases such as worm drains).
+        self._coalesce_gate_ns = 0
+        self._coalesce_fail_streak = 0
+        #: Number of ticks replayed arithmetically by the fast path (an
+        #: engine-side observability counter; not part of the simulation's
+        #: observable results, which are identical with the fast path off).
+        self.coalesced_ticks = 0
 
     # ------------------------------------------------------------------
     # Time and scheduling helpers
@@ -180,17 +236,44 @@ class WormholeSimulator:
     def run(self, until_ns: int | None = None) -> SimulationStats:
         """Process events until the queue drains (or ``until_ns`` is reached).
 
+        Bounded runs advance the clock to the window boundary on return, so
+        that back-to-back ``run_for`` windows tile time exactly and
+        time-based rates divide by the intended duration.
+
         When the queue drains while messages are still incomplete and
         deadlock detection is enabled, a :class:`~repro.errors.DeadlockError`
         is raised carrying a :class:`~repro.simulator.deadlock.DeadlockReport`.
         """
         events = self.events
-        while not events.is_empty:
-            next_time = events.next_time()
-            if until_ns is not None and next_time is not None and next_time > until_ns:
+        fast = self.config.fast_path
+        complete_transfer = self._complete_transfer
+        # The loop body below is ``pop_entry()`` unrolled by hand: this is the
+        # hottest loop in the repository and method/property calls per event
+        # are measurable.  ``heap`` aliases the live heap list (rebases are
+        # in-place), so pushes from callbacks remain visible.
+        heap = events._heap
+        while heap:
+            t0 = heap[0][0]
+            if until_ns is not None and t0 > until_ns:
                 break
-            _, callback = events.pop()
-            callback()
+            # Probe whenever the earliest event is a flit transfer; generic
+            # events pending further out (queued submits, a later startup)
+            # only cap the batch length — _coalesce_tick's t_other scan
+            # ends every batch strictly before the first of them fires.
+            if fast and heap[0][2] and t0 >= self._coalesce_gate_ns:
+                if self._coalesce_tick(t0, until_ns):
+                    continue
+            entry = heappop(heap)
+            events.now = entry[0]
+            if entry[2]:
+                events._transfer_pending -= 1
+                complete_transfer(entry[3])
+            else:
+                entry[3]()
+        if until_ns is not None:
+            # A bounded run owns the whole window: land exactly on the
+            # boundary even if the last event fired earlier (or none did).
+            events.advance_to(until_ns)
         self.stats.end_time_ns = self.now
         if until_ns is None and self.config.deadlock_detection:
             incomplete = [m for m in self.messages.values() if not m.is_complete]
@@ -210,49 +293,277 @@ class WormholeSimulator:
         return self.run(until_ns=self.now + duration_ns)
 
     # ------------------------------------------------------------------
+    # Steady-state coalescing fast path
+    # ------------------------------------------------------------------
+    def _coalesce_tick(self, t0: int, until_ns: int | None) -> bool:
+        """Attempt to coalesce the synchronized transfer tick at ``t0``.
+
+        Returns ``True`` when the tick was executed here (through the
+        ordinary per-flit machinery) — whether or not a batch advance
+        followed.  Returns ``False`` without touching any state when the
+        preconditions fail cheaply; the caller then pops events normally.
+        """
+        events = self.events
+        latency = self.config.channel_latency_ns
+        # Probe each tick at most once (re-opened below on a verify failure).
+        self._coalesce_gate_ns = t0 + latency
+        # -- Cheap scan (unsorted): every pending transfer must complete at
+        # t0 (one synchronized tick), any generic event must be far enough
+        # away for a worthwhile batch, every wire flit must be a body flit,
+        # and the batch can extend at most until the first of them would
+        # become a tail.  This rejects head crawls and worm-drain phases
+        # before paying for a sort or a snapshot.
+        messages = self.messages
+        t_other: int | None = None
+        flit_cap: int | None = None
+        for time_ns, _seq, kind, payload in events._heap:
+            if kind:
+                if time_ns != t0:
+                    return False
+                out = payload.out_buffer
+                if not out._slots:
+                    return False
+                flit = out._slots[0]
+                if flit.kind is not FlitKind.BODY:
+                    return False
+                limit = messages[flit.message_id].length_flits - 2 - flit.seq
+                if flit_cap is None or limit < flit_cap:
+                    flit_cap = limit
+            elif t_other is None or time_ns < t_other:
+                t_other = time_ns
+        cap = flit_cap
+        if t_other is not None:
+            # Batch ticks must end strictly before the first generic event.
+            other_cap = (t_other - t0 - 1) // latency
+            if cap is None or other_cap < cap:
+                cap = other_cap
+        if until_ns is not None:
+            cap_until = (until_ns - t0) // latency
+            if cap is None or cap_until < cap:
+                cap = cap_until
+        if cap is not None and cap < _MIN_BATCH_TICKS + 1:
+            return False
+        moving = [entry[3] for entry in sorted(events._heap) if entry[2]]
+
+        # -- Snapshot the closure of state the tick can touch: the moving
+        # links themselves plus every buffer their sink segments replicate
+        # into and their feeders drain from.
+        closure: dict[LinkState, None] = {}
+        segments: dict[WormSegment, None] = {}
+        interfaces: dict[SourceInterface, None] = {}
+        for link in moving:
+            closure[link] = None
+            sink = link.sink_segment
+            if sink is not None:
+                segments[sink] = None
+                closure[sink.in_link] = None
+                for out_link in sink.outputs:
+                    closure[out_link] = None
+            feeder = link.feeder
+            if feeder is None:
+                continue
+            if isinstance(feeder, SourceInterface):
+                interfaces[feeder] = None
+            else:
+                segments[feeder] = None
+                closure[feeder.in_link] = None
+                for out_link in feeder.outputs:
+                    closure[out_link] = None
+
+        def link_snap(link: LinkState):
+            return (
+                link.busy,
+                link.reserved_by,
+                link.feeder,
+                link.sink_segment,
+                tuple((f.kind, f.message_id, f.seq) for f in link.out_buffer.flits()),
+                tuple((f.kind, f.message_id, f.seq) for f in link.in_buffer.flits()),
+            )
+
+        pre_links = [(link, link_snap(link)) for link in closure]
+        pre_segments = [
+            (seg, seg.state, seg.head_replicated, tuple(seg.outputs), tuple(seg.required))
+            for seg in segments
+        ]
+        pre_interfaces = [
+            (ni, ni.current, ni.next_seq, len(ni.queue)) for ni in interfaces
+        ]
+        stats = self.stats
+        pre_counters = (stats.bubbles_created, stats.messages_completed, len(self._segments))
+        trace = self.trace
+        pre_trace_len = len(trace.events) if trace is not None else 0
+        pre_heap_len = len(events._heap)
+
+        # -- Execute the tick exactly as the reference per-flit engine would.
+        complete_transfer = self._complete_transfer
+        pop_entry = events.pop_entry
+        heap = events._heap
+        while heap and heap[0][0] == t0:
+            entry = pop_entry()
+            if entry[2]:
+                complete_transfer(entry[3])
+            else:  # pragma: no cover - body ticks never schedule same-time generics
+                entry[3]()
+
+        # -- Verify the tick was self-similar; any mismatch means the per-flit
+        # execution (which just ran) simply continues event by event.
+        count = len(moving)
+        if events._transfer_pending != count or len(heap) != pre_heap_len:
+            return self._coalesce_backoff(t0, latency)
+        if (stats.bubbles_created, stats.messages_completed, len(self._segments)) != pre_counters:
+            return self._coalesce_backoff(t0, latency)
+        if trace is not None and len(trace.events) != pre_trace_len:
+            return self._coalesce_backoff(t0, latency)
+        t1 = t0 + latency
+        post_transfers = sorted(entry for entry in heap if entry[2])
+        for entry, link in zip(post_transfers, moving):
+            if entry[0] != t1 or entry[3] is not link:
+                return self._coalesce_backoff(t0, latency)
+        for seg, state, head_replicated, outputs, required in pre_segments:
+            if (
+                seg.state is not state
+                or seg.head_replicated != head_replicated
+                or tuple(seg.outputs) != outputs
+                or tuple(seg.required) != required
+            ):
+                return self._coalesce_backoff(t0, latency)
+        messages = self.messages
+        bound: int | None = None
+        pushing: list[SourceInterface] = []
+        for ni, current, next_seq, backlog in pre_interfaces:
+            if ni.current is not current or len(ni.queue) != backlog:
+                return self._coalesce_backoff(t0, latency)
+            if ni.next_seq == next_seq + 1:
+                if current is None:
+                    return self._coalesce_backoff(t0, latency)
+                limit = current.length_flits - 1 - ni.next_seq
+                if bound is None or limit < bound:
+                    bound = limit
+                pushing.append(ni)
+            elif ni.next_seq != next_seq:
+                return self._coalesce_backoff(t0, latency)
+        shifting: list[tuple[object, tuple]] = []
+        for link, snap in pre_links:
+            busy, reserved_by, feeder, sink, out_flits, in_flits = snap
+            if (
+                link.busy != busy
+                or link.reserved_by != reserved_by
+                or link.feeder is not feeder
+                or link.sink_segment is not sink
+            ):
+                return self._coalesce_backoff(t0, latency)
+            for pre_flits, buffer in ((out_flits, link.out_buffer), (in_flits, link.in_buffer)):
+                post_flits = tuple(
+                    (f.kind, f.message_id, f.seq) for f in buffer.flits()
+                )
+                if post_flits == pre_flits:
+                    continue
+                if len(post_flits) != len(pre_flits):
+                    return self._coalesce_backoff(t0, latency)
+                for (kind0, mid0, seq0), (kind1, mid1, seq1) in zip(pre_flits, post_flits):
+                    if (
+                        kind1 is not FlitKind.BODY
+                        or kind0 is not FlitKind.BODY
+                        or mid1 != mid0
+                        or seq1 != seq0 + 1
+                    ):
+                        return self._coalesce_backoff(t0, latency)
+                for _kind, mid, seq in post_flits:
+                    limit = messages[mid].length_flits - 2 - seq
+                    if bound is None or limit < bound:
+                        bound = limit
+                shifting.append((buffer, post_flits))
+        if bound is None:
+            return self._coalesce_backoff(t0, latency)
+
+        # -- Batch advance: replay k further identical ticks arithmetically.
+        k = bound if cap is None else min(bound, cap)
+        if k < _MIN_BATCH_TICKS:
+            return self._coalesce_backoff(t0, latency)
+        advance = k * latency
+        stats.flit_hops += k * count
+        if self._collect_stats:
+            for link in moving:
+                link.data_flits_carried += k
+                link.busy_total_ns += advance
+                if link.busy_since_ns is not None:
+                    link.busy_since_ns += advance
+        for buffer, post_flits in shifting:
+            buffer.replace_contents(
+                Flit(kind, mid, seq + k) for kind, mid, seq in post_flits
+            )
+        for ni in pushing:
+            ni.next_seq += k
+        events.rebase_transfers(t0 + advance, t0 + advance + latency)
+        self._coalesce_fail_streak = 0
+        self.coalesced_ticks += k
+        return True
+
+    def _coalesce_backoff(self, t0: int, latency: int) -> bool:
+        """An executed tick failed the self-similarity check: the system is
+        in a churn phase, so pause probing — exponentially longer while the
+        failures keep coming (e.g. a long bubble storm on a big multicast
+        tree).  Always returns ``True`` (the tick itself ran through the
+        reference machinery)."""
+        streak = self._coalesce_fail_streak
+        self._coalesce_fail_streak = streak + 1
+        # min() the shift amount, not just the result: an unbounded shift
+        # would build ever-larger big-ints over a long churn-heavy run.
+        ticks = min(_COALESCE_BACKOFF_TICKS << min(streak, 3), _COALESCE_BACKOFF_MAX_TICKS)
+        self._coalesce_gate_ns = t0 + ticks * latency
+        return True
+
+    # ------------------------------------------------------------------
     # Link machinery
     # ------------------------------------------------------------------
     def try_start_transfer(self, link: LinkState) -> None:
-        """Put the head flit of ``link``'s output buffer on the wire if possible."""
-        if not link.can_start_transfer():
+        """Put the head flit of ``link``'s output buffer on the wire if
+        possible: the wire must be idle, the output buffer non-empty and the
+        receiving input buffer not full.  Written out against the buffer
+        internals because this runs several times per flit hop."""
+        if link.busy or not link.out_buffer._slots:
+            return
+        in_buffer = link.in_buffer
+        if len(in_buffer._slots) >= in_buffer.capacity:
             return
         link.busy = True
-        if self.config.collect_channel_stats:
-            link.mark_utilisation_start(self.now)
-        self.events.schedule_after(link.latency_ns, partial(self._complete_transfer, link))
+        if self._collect_stats and link.busy_since_ns is None:
+            link.busy_since_ns = self.events.now
+        self.events.schedule_transfer(link.latency_ns, link)
 
     def _complete_transfer(self, link: LinkState) -> None:
         """A flit finishes crossing ``link``: hand it to the receiving side."""
         flit = link.out_buffer.pop()
         link.busy = False
         self.stats.flit_hops += 1
-        if self.config.collect_channel_stats:
-            if flit.is_bubble:
+        kind = flit.kind
+        if self._collect_stats:
+            if kind is FlitKind.BUBBLE:
                 link.bubble_flits_carried += 1
             else:
                 link.data_flits_carried += 1
-            link.mark_utilisation_end(self.now)
+            link.mark_utilisation_end(self.events.now)
 
-        destination = link.channel.dst
-        if self.network.is_processor(destination):
-            self._consume_at_processor(link, flit, destination)
-        elif flit.is_bubble and link.sink_segment is None:
+        if link.sink_is_processor:
+            if kind is FlitKind.TAIL:
+                self._deliver_tail(flit, link.channel.dst)
+        elif kind is FlitKind.BUBBLE and link.sink_segment is None:
             # A bubble that arrives after its worm segment has already
             # finished carries no information; absorbing it keeps the
             # single-flit input buffer available for the next worm.
             pass
         else:
             link.in_buffer.push(flit)
-            if flit.is_head:
-                self._handle_head_at_switch(link, flit, destination)
+            if kind is FlitKind.HEAD:
+                self._handle_head_at_switch(link, flit, link.channel.dst)
             else:
                 segment = link.sink_segment
                 if segment is not None:
                     segment.on_flit_available()
-                elif flit.is_data:
+                elif kind is not FlitKind.BUBBLE:
                     raise SimulationError(
                         f"flit of message {flit.message_id} arrived at switch "
-                        f"{destination} with no active segment"
+                        f"{link.channel.dst} with no active segment"
                     )
 
         # The output-buffer slot freed by this transfer lets the feeder (the
@@ -263,21 +574,18 @@ class WormholeSimulator:
             feeder.on_output_space(link)
         self.try_start_transfer(link)
 
-    def _consume_at_processor(self, link: LinkState, flit: Flit, processor: int) -> None:
-        """Consumption channels deliver directly into the destination processor."""
-        if flit.is_bubble:
-            return
+    def _deliver_tail(self, flit: Flit, processor: int) -> None:
+        """A tail flit reached its destination processor: record delivery."""
         message = self.messages[flit.message_id]
-        if flit.is_tail:
-            completed = message.record_delivery(processor, self.now)
-            self.trace_event("deliver", message=message.mid, destination=processor)
-            for callback in self.delivery_callbacks:
-                callback(message, processor, self.now)
-            if completed:
-                self.stats.record_message(message)
-                self.trace_event("complete", message=message.mid)
-                for callback in self.completion_callbacks:
-                    callback(message)
+        completed = message.record_delivery(processor, self.now)
+        self.trace_event("deliver", message=message.mid, destination=processor)
+        for callback in self.delivery_callbacks:
+            callback(message, processor, self.now)
+        if completed:
+            self.stats.record_message(message)
+            self.trace_event("complete", message=message.mid)
+            for callback in self.completion_callbacks:
+                callback(message)
 
     def _handle_head_at_switch(self, link: LinkState, flit: Flit, switch: int) -> None:
         """Create the worm segment for a header flit and schedule its decision."""
@@ -319,6 +627,10 @@ class WormholeSimulator:
     # Statistics helpers
     # ------------------------------------------------------------------
     def _finalise_channel_stats(self) -> None:
+        # Busy periods still open at the end of a bounded run are flushed up
+        # to the current time without being closed, so resumed runs keep
+        # accumulating from where they left off.
+        now = self.now
         self.stats.channel_records = [
             ChannelRecord(
                 cid=link.cid,
@@ -326,7 +638,7 @@ class WormholeSimulator:
                 dst=link.channel.dst,
                 data_flits=link.data_flits_carried,
                 bubble_flits=link.bubble_flits_carried,
-                busy_ns=link.busy_total_ns,
+                busy_ns=link.busy_ns_until(now),
             )
             for link in self.links
         ]

@@ -5,6 +5,22 @@ scheduled at an integer nanosecond timestamp.  Events at the same timestamp
 are processed in scheduling order (FIFO), which both makes runs perfectly
 reproducible and provides the atomicity the OCRQ protocol relies on (a
 message enqueues all of its channel requests within a single event).
+
+Entries come in two kinds, distinguished by an integer tag so the engine
+never allocates a closure per flit transfer:
+
+* **generic events** (``kind == 0``) carry an arbitrary zero-argument
+  callback, exactly like the original ``(time, seq, callback)`` design;
+* **transfer events** (``kind == 1``) carry the :class:`~repro.simulator.links.LinkState`
+  whose in-flight flit completes at the timestamp.  The engine dispatches
+  these directly to ``WormholeSimulator._complete_transfer`` — no
+  ``functools.partial`` is built on the hot path.
+
+The queue additionally tracks how many pending entries are transfer events
+(``transfer_pending``).  When the *earliest* pending entry is a transfer the
+simulator may be in a steady-state streaming phase; the engine's fast path
+(``WormholeSimulator._coalesce_tick``) probes that case and uses the tag in
+each entry to bound its batches strictly before the next generic event.
 """
 
 from __future__ import annotations
@@ -16,15 +32,20 @@ from ..errors import SimulationError
 
 __all__ = ["EventQueue"]
 
+#: Entry tags (third tuple field; never compared because ``seq`` is unique).
+_GENERIC = 0
+_TRANSFER = 1
+
 
 class EventQueue:
-    """A binary-heap priority queue of ``(time, seq, callback)`` events."""
+    """A binary-heap priority queue of ``(time, seq, kind, payload)`` events."""
 
-    __slots__ = ("_heap", "_seq", "now")
+    __slots__ = ("_heap", "_seq", "_transfer_pending", "now")
 
     def __init__(self, start_ns: int = 0) -> None:
-        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._heap: list[tuple[int, int, int, object]] = []
         self._seq = 0
+        self._transfer_pending = 0
         #: Current simulation time (time of the most recently popped event).
         self.now = start_ns
 
@@ -38,21 +59,61 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule an event at {time_ns} ns, current time is {self.now} ns"
             )
-        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        heapq.heappush(self._heap, (time_ns, self._seq, _GENERIC, callback))
         self._seq += 1
 
     def schedule_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
         self.schedule(self.now + delay_ns, callback)
 
+    def schedule_transfer(self, delay_ns: int, link) -> None:
+        """Schedule the completion of a flit transfer on ``link``.
+
+        Stored as a tagged entry carrying the link itself, so completing a
+        transfer costs no closure allocation and the engine's fast path can
+        inspect pending transfers without executing them.
+        """
+        time_ns = self.now + delay_ns
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule an event at {time_ns} ns, current time is {self.now} ns"
+            )
+        heapq.heappush(self._heap, (time_ns, self._seq, _TRANSFER, link))
+        self._seq += 1
+        self._transfer_pending += 1
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
     def pop(self) -> tuple[int, Callable[[], None]]:
-        """Pop the earliest event and advance the clock to its timestamp."""
+        """Pop the earliest event and advance the clock to its timestamp.
+
+        Compatibility wrapper returning ``(time, callback)``; only valid for
+        generic entries (the engine drains transfer entries through
+        :meth:`pop_entry`).  Refusal happens *before* popping, so a misuse
+        leaves the queue intact.
+        """
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        time_ns, _seq, callback = heapq.heappop(self._heap)
-        self.now = time_ns
-        return time_ns, callback
+        if self._heap[0][2] == _TRANSFER:
+            raise SimulationError("pop() cannot return a transfer entry; use pop_entry()")
+        time_ns, _seq, _kind, payload = self.pop_entry()
+        return time_ns, payload  # type: ignore[return-value]
 
+    def pop_entry(self) -> tuple[int, int, int, object]:
+        """Pop the earliest entry ``(time, seq, kind, payload)`` and advance
+        the clock to its timestamp."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        entry = heapq.heappop(self._heap)
+        self.now = entry[0]
+        if entry[2] == _TRANSFER:
+            self._transfer_pending -= 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection used by the engine's fast path
+    # ------------------------------------------------------------------
     @property
     def is_empty(self) -> bool:
         """``True`` when no events are pending."""
@@ -61,6 +122,64 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
+    @property
+    def transfer_pending(self) -> int:
+        """Number of pending transfer entries."""
+        return self._transfer_pending
+
     def next_time(self) -> int | None:
         """Timestamp of the earliest pending event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Fast-path mutation
+    # ------------------------------------------------------------------
+    def advance_to(self, time_ns: int) -> None:
+        """Advance the clock to ``time_ns`` without executing anything.
+
+        Used by bounded runs to land exactly on the window boundary; never
+        moves the clock backwards and never past a pending event.
+        """
+        if time_ns <= self.now:
+            return
+        head = self._heap[0][0] if self._heap else None
+        if head is not None and head < time_ns:
+            raise SimulationError(
+                f"cannot advance the clock to {time_ns} ns past a pending event at {head} ns"
+            )
+        self.now = time_ns
+
+    def rebase_transfers(self, now_ns: int, time_ns: int) -> None:
+        """Batch-advance: move the clock to ``now_ns`` and reschedule every
+        pending transfer entry at ``time_ns``, preserving their relative
+        (FIFO) order.  Generic entries are left untouched.
+
+        The engine calls this after arithmetically replaying ``k`` identical
+        steady-state ticks; the surviving transfer deadlines must land where
+        the per-flit execution would have put them.
+        """
+        if now_ns < self.now or time_ns < now_ns:
+            raise SimulationError("transfer rebase would move time backwards")
+        entries = sorted(self._heap)
+        rebased = []
+        # Generic entries keep their deadlines and receive the smaller fresh
+        # sequence numbers: any generic event still pending was scheduled
+        # before the transfers were (re)scheduled, so on a timestamp tie the
+        # per-flit execution would run it first.
+        for entry in entries:
+            if entry[2] != _TRANSFER:
+                if entry[0] < now_ns:
+                    raise SimulationError(
+                        "transfer rebase would overtake a pending generic event"
+                    )
+                rebased.append((entry[0], self._seq, entry[2], entry[3]))
+                self._seq += 1
+        for entry in entries:
+            if entry[2] == _TRANSFER:
+                rebased.append((time_ns, self._seq, _TRANSFER, entry[3]))
+                self._seq += 1
+        rebased.sort()
+        # In-place so aliases of the heap list (the engine's run loop holds
+        # one) stay valid; a sorted list is a valid heap.
+        self._heap[:] = rebased
+        self.now = now_ns

@@ -40,6 +40,7 @@ class LinkState:
         "bubble_flits_carried",
         "busy_since_ns",
         "busy_total_ns",
+        "sink_is_processor",
     )
 
     def __init__(
@@ -70,6 +71,9 @@ class LinkState:
         self.bubble_flits_carried = 0
         self.busy_since_ns: int | None = None
         self.busy_total_ns = 0
+        #: ``True`` when the receiving end is a processor (consumption
+        #: channel); cached as a plain attribute for the engine's hot path.
+        self.sink_is_processor = channel.role is LinkRole.CONSUMPTION
 
     # ------------------------------------------------------------------
     @property
@@ -92,23 +96,24 @@ class LinkState:
         """``True`` when no message holds the channel."""
         return self.reserved_by is None
 
-    def can_start_transfer(self) -> bool:
-        """A flit can leave the output buffer onto the wire right now."""
-        return (not self.busy) and (not self.out_buffer.is_empty) and (
-            not self.in_buffer.is_full
-        )
-
     # ------------------------------------------------------------------
-    def mark_utilisation_start(self, now_ns: int) -> None:
-        """Start accounting a busy period (channel-statistics mode only)."""
-        if self.busy_since_ns is None:
-            self.busy_since_ns = now_ns
-
     def mark_utilisation_end(self, now_ns: int) -> None:
         """End a busy period (channel-statistics mode only)."""
         if self.busy_since_ns is not None:
             self.busy_total_ns += now_ns - self.busy_since_ns
             self.busy_since_ns = None
+
+    def busy_ns_until(self, now_ns: int) -> int:
+        """Total busy time up to ``now_ns``, including a still-open period.
+
+        Bounded runs stop while flits are mid-wire; reporting must flush the
+        open period up to the window boundary *without* closing it, so that
+        resuming the simulation keeps accumulating correctly.
+        """
+        total = self.busy_total_ns
+        if self.busy_since_ns is not None and now_ns > self.busy_since_ns:
+            total += now_ns - self.busy_since_ns
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

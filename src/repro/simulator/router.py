@@ -156,17 +156,25 @@ class WormSegment:
             return
         engine = self.engine
         in_buffer = self.in_link.in_buffer
+        outputs = self.outputs
         advanced_any = False
         while True:
-            if in_buffer.is_empty:
+            if not in_buffer._slots:
                 break
-            if all(not link.out_buffer.is_full for link in self.outputs):
+            blocked = False
+            for link in outputs:
+                out_buffer = link.out_buffer
+                if len(out_buffer._slots) >= out_buffer.capacity:
+                    blocked = True
+                    break
+            if not blocked:
                 flit = in_buffer.pop()
                 self._replicate(flit)
                 advanced_any = True
-                if flit.kind is FlitKind.HEAD:
+                kind = flit.kind
+                if kind is FlitKind.HEAD:
                     self.head_replicated = True
-                if flit.kind is FlitKind.TAIL:
+                elif kind is FlitKind.TAIL:
                     self._finish()
                     break
                 continue
@@ -187,11 +195,19 @@ class WormSegment:
             if not self.head_replicated:
                 break
             own_mid = self.message.mid
-            blocked_by_own_data = any(
-                link.out_buffer.is_full
-                and any(f.is_data and f.message_id == own_mid for f in link.out_buffer.flits())
-                for link in self.outputs
-            )
+            blocked_by_own_data = False
+            for link in outputs:
+                out_buffer = link.out_buffer
+                if len(out_buffer._slots) >= out_buffer.capacity:
+                    for blocking in out_buffer._slots:
+                        if (
+                            blocking.message_id == own_mid
+                            and blocking.kind is not FlitKind.BUBBLE
+                        ):
+                            blocked_by_own_data = True
+                            break
+                    if blocked_by_own_data:
+                        break
             if not blocked_by_own_data:
                 break
             # Bubbles are inserted one at a time, only into output buffers
@@ -221,8 +237,9 @@ class WormSegment:
         engine = self.engine
         outputs = self.outputs
         if len(outputs) == 1:
-            outputs[0].out_buffer.push(flit)
-            engine.try_start_transfer(outputs[0])
+            link = outputs[0]
+            link.out_buffer.push(flit)
+            engine.try_start_transfer(link)
             return
         for index, link in enumerate(outputs):
             copy = flit if index == 0 else Flit(flit.kind, flit.message_id, flit.seq)
@@ -347,8 +364,11 @@ class SourceInterface:
         if message is None:
             return
         length = message.length_flits
+        injection = self.injection
+        out_buffer = injection.out_buffer
+        mid = message.mid
         pushed = False
-        while self.next_seq < length and not self.injection.out_buffer.is_full:
+        while self.next_seq < length and len(out_buffer._slots) < out_buffer.capacity:
             seq = self.next_seq
             if seq == 0:
                 kind = FlitKind.HEAD
@@ -356,11 +376,11 @@ class SourceInterface:
                 kind = FlitKind.TAIL
             else:
                 kind = FlitKind.BODY
-            self.injection.out_buffer.push(Flit(kind, message.mid, seq))
+            out_buffer.push(Flit(kind, mid, seq))
             self.next_seq += 1
             pushed = True
         if pushed:
-            engine.try_start_transfer(self.injection)
+            engine.try_start_transfer(injection)
         if self.next_seq >= length:
             # Tail handed to the channel: release it and move on to the next
             # queued message (its startup may overlap with the tail still

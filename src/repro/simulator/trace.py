@@ -50,6 +50,15 @@ class Trace:
         """Events that mention message ``mid``."""
         return [event for event in self.events if event.fields.get("message") == mid]
 
+    def signature(self) -> list[tuple[int, str, dict]]:
+        """Equality-comparable rendering of the whole trace.
+
+        Used by the fast-path trace-equivalence tests: two runs are
+        observably identical when their signatures compare equal (same
+        events, same timestamps, same payloads, same order).
+        """
+        return [(event.time_ns, event.kind, event.fields) for event in self.events]
+
     def render(self, events: Iterable[TraceEvent] | None = None) -> str:
         """Human-readable multi-line rendering."""
         chosen = self.events if events is None else list(events)

@@ -1,0 +1,330 @@
+"""Trace-equivalence tests for the engine's steady-state fast path, plus
+regression tests for the partial-run clock and channel-utilisation fixes.
+
+The fast path's contract is *bit-identical observable behaviour*: delivery
+timestamps, trace records, message statistics, flit-hop counts, bubble
+counts and per-channel utilisation must not change when event coalescing is
+enabled.  Every scenario here runs twice — ``fast_path=True`` against
+``fast_path=False`` (the reference per-flit execution) — and compares the
+full observable fingerprint.  Where a scenario is expected to reach a
+steady state, the test additionally asserts that the fast path actually
+coalesced something, so the equivalence claim is not vacuous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spam import SpamRouting
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.topology.examples import two_switch_network
+from repro.topology.irregular import lattice_irregular_network
+
+
+def _fingerprint(simulator, stats):
+    """Everything observable about a finished (or paused) simulation."""
+    summary = {
+        key: (None if value != value else value)  # normalise NaN for ==
+        for key, value in stats.summary().items()
+    }
+    return {
+        "summary": summary,
+        "trace": simulator.trace.signature(),
+        "deliveries": {
+            mid: dict(message.delivered_ns)
+            for mid, message in simulator.messages.items()
+        },
+        "completions": {
+            mid: message.completed_ns for mid, message in simulator.messages.items()
+        },
+        "hops": {mid: message.hops for mid, message in simulator.messages.items()},
+        "channels": [
+            (rec.cid, rec.data_flits, rec.bubble_flits, rec.busy_ns)
+            for rec in stats.channel_records
+        ],
+        "now": simulator.now,
+    }
+
+
+def _run_pair(network, routing, submit, flits, run=None, expect_coalesced=False):
+    """Run a scenario with the fast path on and off; assert identical output.
+
+    ``submit`` receives the simulator and schedules the workload; ``run``
+    (default: one unbounded ``run()``) drives the simulation and returns the
+    final stats.  Returns the fast-path simulator for extra assertions.
+    """
+    results = []
+    simulators = []
+    for fast in (True, False):
+        config = SimulationConfig(
+            message_length_flits=flits,
+            fast_path=fast,
+            trace=True,
+            collect_channel_stats=True,
+        )
+        simulator = WormholeSimulator(network, routing, config)
+        submit(simulator)
+        stats = simulator.run() if run is None else run(simulator)
+        results.append(_fingerprint(simulator, stats))
+        simulators.append(simulator)
+    fast_sim, ref_sim = simulators
+    assert ref_sim.coalesced_ticks == 0
+    if expect_coalesced:
+        assert fast_sim.coalesced_ticks > 0, "fast path never engaged; test is vacuous"
+    assert results[0] == results[1]
+    return fast_sim
+
+
+class TestTraceEquivalence:
+    def test_figure1_multicast_with_replication_bubbles(self, figure1):
+        """The paper's §3.2 walk-through network: asynchronous replication
+        produces bubbles, and the fast path must reproduce the per-flit
+        trace (including every ``bubble`` record) exactly."""
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+
+        def submit(sim):
+            sim.submit_message(figure1.source, figure1.destinations)
+
+        fast_sim = _run_pair(figure1.network, spam, submit, flits=64)
+        assert fast_sim.stats.bubbles_created > 0
+
+    def test_lattice_broadcast_steady_state(self, lattice32, lattice32_spam):
+        """A broadcast on the irregular lattice reaches a long streaming
+        phase; the fast path must coalesce it and stay bit-identical."""
+
+        def submit(sim):
+            sim.submit_broadcast(lattice32.processors()[0])
+
+        fast_sim = _run_pair(
+            lattice32, lattice32_spam, submit, flits=128, expect_coalesced=True
+        )
+        assert fast_sim.stats.bubbles_created > 0
+
+    def test_contended_ocrq_multicasts(self, lattice32, lattice32_spam):
+        """Six overlapping multicasts force OCRQ queueing and serial channel
+        acquisition; equivalence must hold through the contention."""
+        processors = lattice32.processors()
+
+        def submit(sim):
+            for index in range(6):
+                source = processors[index]
+                destinations = [p for p in processors[8:20] if p != source]
+                sim.submit_message(source, destinations, at_ns=0)
+
+        _run_pair(lattice32, lattice32_spam, submit, flits=64)
+
+    def test_cross_traffic_unicasts(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+
+        def submit(sim):
+            for index in range(8):
+                sim.submit_message(
+                    processors[index],
+                    [processors[(index + 11) % len(processors)]],
+                    at_ns=0,
+                )
+
+        _run_pair(
+            lattice32, lattice32_spam, submit, flits=256, expect_coalesced=True
+        )
+
+    def test_bounded_windows_equivalent(self, lattice32, lattice32_spam):
+        """Driving the simulation in ``run_for`` windows (which can cut a
+        steady-state batch short) must match the reference windowed run."""
+
+        def submit(sim):
+            sim.submit_broadcast(lattice32.processors()[0])
+
+        def run(sim):
+            stats = sim.stats
+            while sim.pending_messages:
+                stats = sim.run_for(1_000)
+            return stats
+
+        _run_pair(
+            lattice32, lattice32_spam, submit, flits=256, run=run,
+            expect_coalesced=True,
+        )
+
+    def test_windowed_equals_unbounded_delivery_times(self, lattice32, lattice32_spam):
+        config = SimulationConfig(message_length_flits=128)
+        windowed = WormholeSimulator(lattice32, lattice32_spam, config)
+        message_w = windowed.submit_broadcast(lattice32.processors()[0])
+        while windowed.pending_messages:
+            windowed.run_for(700)
+        unbounded = WormholeSimulator(lattice32, lattice32_spam, config)
+        message_u = unbounded.submit_broadcast(lattice32.processors()[0])
+        unbounded.run()
+        assert message_w.delivered_ns == message_u.delivered_ns
+
+
+class TestPartialRunClock:
+    """Regression: bounded runs must land exactly on the window boundary."""
+
+    def test_run_for_advances_clock_on_idle_simulator(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        stats = simulator.run_for(500)
+        assert simulator.now == 500
+        assert stats.end_time_ns == 500
+        simulator.run_for(250)
+        assert simulator.now == 750
+
+    def test_back_to_back_windows_tile_time(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        simulator.submit_message(source, [dest])
+        window = 333  # deliberately not a multiple of any latency
+        for index in range(1, 40):
+            simulator.run_for(window)
+            assert simulator.now == index * window
+            if not simulator.pending_messages:
+                break
+        assert not simulator.pending_messages
+
+    def test_bounded_run_boundary_with_pending_events(self, two_switch, short_config):
+        """Stopping mid-startup leaves the clock at the boundary, not at the
+        last popped event, and the remaining events still fire on resume."""
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        source, dest = two_switch.processors()
+        message = simulator.submit_message(source, [dest])
+        boundary = short_config.startup_latency_ns // 2
+        stats = simulator.run(until_ns=boundary)
+        assert simulator.now == boundary
+        assert stats.end_time_ns == boundary
+        assert not message.is_complete
+        simulator.run()
+        assert message.is_complete
+
+    def test_submissions_after_window_use_boundary_time(self, two_switch, short_config):
+        spam = SpamRouting.build(two_switch)
+        simulator = WormholeSimulator(two_switch, spam, short_config)
+        simulator.run_for(1_000)
+        source, dest = two_switch.processors()
+        message = simulator.submit_message(source, [dest])
+        assert message.created_ns == 1_000
+
+
+class TestUtilisationAccounting:
+    """Regression: links mid-transfer at a window boundary must report the
+    open busy period up to the boundary."""
+
+    def _injection_busy_ns(self, stats, simulator, processor):
+        cid = simulator.network.injection_channel(processor).cid
+        return next(rec.busy_ns for rec in stats.channel_records if rec.cid == cid)
+
+    def test_open_busy_period_flushed_at_boundary(self):
+        network = two_switch_network()
+        spam = SpamRouting.build(network)
+        config = SimulationConfig(
+            message_length_flits=64, collect_channel_stats=True
+        )
+        source, dest = network.processors()
+        # Timeline on the injection channel: the head crosses during
+        # [10_000, 10_010], then stalls behind the routing decisions of the
+        # two switches; once the pipeline opens, the body streams
+        # continuously from 10_090 with wire slots [10_150, 10_160), etc.
+        # A boundary inside a slot must flush the open busy period: busy
+        # time is 10 + (boundary - 10_090), not the 70 ns of closed periods
+        # the pre-fix accounting reported for every boundary in the slot.
+        for boundary in (10_152, 10_155):
+            simulator = WormholeSimulator(network, spam, config)
+            simulator.submit_message(source, [dest])
+            stats = simulator.run(until_ns=boundary)
+            busy = self._injection_busy_ns(stats, simulator, source)
+            assert busy == 10 + (boundary - 10_090)
+
+    def test_flush_does_not_corrupt_resumed_accounting(self):
+        network = two_switch_network()
+        spam = SpamRouting.build(network)
+        config = SimulationConfig(
+            message_length_flits=64, collect_channel_stats=True
+        )
+        paused = WormholeSimulator(network, spam, config)
+        source, dest = network.processors()
+        paused.submit_message(source, [dest])
+        paused.run(until_ns=10_015)
+        final_paused = paused.run()
+
+        straight = WormholeSimulator(network, spam, config)
+        straight.submit_message(source, [dest])
+        final_straight = straight.run()
+
+        assert [
+            (rec.cid, rec.data_flits, rec.busy_ns)
+            for rec in final_paused.channel_records
+        ] == [
+            (rec.cid, rec.data_flits, rec.busy_ns)
+            for rec in final_straight.channel_records
+        ]
+
+    def test_total_busy_not_undercounted_under_load(self, lattice32, lattice32_spam):
+        config = SimulationConfig(
+            message_length_flits=64, collect_channel_stats=True
+        )
+        simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+        simulator.submit_broadcast(lattice32.processors()[0])
+        # Cut the run in the middle of the streaming phase.
+        stats = simulator.run(until_ns=11_000)
+        busy_links = [rec for rec in stats.channel_records if rec.busy_ns > 0]
+        assert busy_links
+        # A link that is mid-transfer reports time up to the boundary; no
+        # record may exceed the elapsed window.
+        assert all(rec.busy_ns <= 11_000 for rec in stats.channel_records)
+
+
+class TestFastPathSafety:
+    def test_deadlock_detection_unaffected_by_fast_path(self, ring8):
+        """Deliberately broken routing must still deadlock identically with
+        the fast path enabled (heads never coalesce)."""
+        from repro.errors import DeadlockError
+        from repro.routing.naive import NaiveMinimalRouting
+
+        for fast in (True, False):
+            naive = NaiveMinimalRouting(ring8)
+            config = SimulationConfig(
+                message_length_flits=64, deadlock_detection=True, fast_path=fast
+            )
+            simulator = WormholeSimulator(ring8, naive, config)
+            processors = ring8.processors()
+            count = len(processors)
+            for index, source in enumerate(processors):
+                simulator.submit_message(
+                    source, [processors[(index + 2) % count]], at_ns=0
+                )
+            with pytest.raises(DeadlockError):
+                simulator.run()
+
+    def test_fast_path_off_is_pure_reference(self, lattice32, lattice32_spam):
+        config = SimulationConfig(message_length_flits=128, fast_path=False)
+        simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+        simulator.submit_broadcast(lattice32.processors()[0])
+        simulator.run()
+        assert simulator.coalesced_ticks == 0
+
+    def test_larger_buffers_remain_equivalent(self, lattice32, lattice32_spam):
+        """Deeper output buffers change the steady-state shape (more flits
+        per buffer); the verifier must still track them exactly."""
+        results = []
+        for fast in (True, False):
+            config = SimulationConfig(
+                message_length_flits=128,
+                output_buffer_depth=4,
+                input_buffer_depth=2,
+                fast_path=fast,
+                trace=True,
+            )
+            simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+            message = simulator.submit_broadcast(lattice32.processors()[0])
+            simulator.run()
+            results.append(
+                (
+                    dict(message.delivered_ns),
+                    simulator.trace.signature(),
+                    simulator.stats.flit_hops,
+                )
+            )
+        assert results[0] == results[1]

@@ -156,6 +156,71 @@ class TestEventQueue:
             EventQueue().pop()
 
 
+class TestEventQueueTransferEntries:
+    """The tagged transfer entries backing the engine's fast path."""
+
+    def test_transfer_entries_are_counted(self):
+        queue = EventQueue()
+        marker = object()
+        queue.schedule(5, lambda: None)
+        assert queue.transfer_pending == 0
+        queue.schedule_transfer(10, marker)
+        assert queue.transfer_pending == 1
+        time_ns, _seq, kind, payload = queue.pop_entry()
+        assert (time_ns, kind) == (5, 0)
+        assert queue.transfer_pending == 1
+        time_ns, _seq, kind, payload = queue.pop_entry()
+        assert (time_ns, kind) == (10, 1)
+        assert payload is marker
+        assert queue.transfer_pending == 0
+
+    def test_pop_refuses_transfer_entries_without_consuming(self):
+        queue = EventQueue()
+        queue.schedule_transfer(10, object())
+        with pytest.raises(SimulationError):
+            queue.pop()
+        # The refusal must not have popped the entry or advanced the clock.
+        assert len(queue) == 1
+        assert queue.transfer_pending == 1
+        assert queue.now == 0
+
+    def test_advance_to_moves_to_boundary_only(self):
+        queue = EventQueue()
+        queue.advance_to(100)
+        assert queue.now == 100
+        queue.advance_to(50)  # never backwards
+        assert queue.now == 100
+        queue.schedule(150, lambda: None)
+        queue.advance_to(150)
+        assert queue.now == 150
+        queue.schedule(180, lambda: None)
+        with pytest.raises(SimulationError):
+            queue.advance_to(200)  # never past a pending event
+
+    def test_rebase_preserves_fifo_and_generic_priority(self):
+        queue = EventQueue()
+        first, second = object(), object()
+        queue.schedule_transfer(10, first)
+        queue.schedule_transfer(10, second)
+        queue.schedule(40, lambda: None)
+        queue.rebase_transfers(30, 40)
+        assert queue.now == 30
+        # On the timestamp tie the generic event (scheduled first in the
+        # per-flit execution) fires before the rebased transfers, and the
+        # transfers keep their FIFO order.
+        entries = [queue.pop_entry() for _ in range(3)]
+        assert [entry[0] for entry in entries] == [40, 40, 40]
+        assert [entry[2] for entry in entries] == [0, 1, 1]
+        assert entries[1][3] is first and entries[2][3] is second
+
+    def test_rebase_rejects_moving_backwards(self):
+        queue = EventQueue()
+        queue.schedule_transfer(10, object())
+        queue.pop_entry()
+        with pytest.raises(SimulationError):
+            queue.rebase_transfers(5, 15)
+
+
 class TestSimulationConfig:
     def test_paper_defaults(self):
         assert PAPER_CONFIG.startup_latency_ns == 10_000
