@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rates", type=float, nargs="+", default=[0.005, 0.02, 0.04],
         help="per-processor arrival rates in messages per microsecond",
     )
+    figure3.add_argument(
+        "--arrival", choices=["negative-binomial", "poisson"],
+        default="negative-binomial",
+        help="arrival process at every processor (paper: negative-binomial)",
+    )
     figure3.add_argument("--seed", type=int, default=7)
 
     compare = subparsers.add_parser("compare", help="SPAM vs software multicast")
@@ -125,6 +130,7 @@ def _cmd_figure3(args, scale) -> int:
         network_size=args.network_size,
         multicast_degrees=tuple(args.degrees),
         arrival_rates_per_us=tuple(args.rates),
+        arrival=args.arrival,
         scale=scale,
         topology_seed=args.seed,
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.sweeps import SweepResult
+from ..traffic.arrivals import make_arrival_process
 from ..traffic.workload import mixed_traffic_workload
 from .common import (
     ExperimentScale,
@@ -41,6 +42,11 @@ class Figure3Config:
     #: (the paper sweeps 0.005 – 0.04).
     arrival_rates_per_us: tuple[float, ...] = (0.005, 0.01, 0.02, 0.03, 0.04)
     multicast_fraction: float = 0.1
+    #: Arrival process drawn at every processor: ``"negative-binomial"``
+    #: (the paper's traffic model, quantised to the channel cycle) or
+    #: ``"poisson"`` (arbitrary-nanosecond arrivals, which exercise the
+    #: engine's phase-staggered coalescing; see ``docs/fast_path.md``).
+    arrival: str = "negative-binomial"
     scale: ExperimentScale | None = None
     topology_seed: int = 7
     workload_seed: int = 23
@@ -68,6 +74,7 @@ def run_figure3(config: Figure3Config | None = None) -> SweepResult:
             "message_length_flits": scale.message_length_flits,
             "messages_per_point": scale.messages_per_rate_point,
             "multicast_fraction": config.multicast_fraction,
+            "arrival": config.arrival,
         },
     )
     for degree in config.multicast_degrees:
@@ -80,6 +87,7 @@ def run_figure3(config: Figure3Config | None = None) -> SweepResult:
                 num_messages=scale.messages_per_rate_point,
                 multicast_fraction=config.multicast_fraction,
                 seed=config.workload_seed + degree,
+                arrival_process=make_arrival_process(config.arrival, rate),
             )
             latencies = run_workload_collect_latencies(
                 network, routing, workload, sim_config, from_creation=True

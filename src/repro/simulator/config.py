@@ -62,7 +62,21 @@ class SimulationConfig:
         streaming phase is ``ACTIVE`` and produces bit-identical timestamps,
         traces and statistics; turn it off to force the reference per-flit
         execution (useful when stepping through the engine, and exercised by
-        the trace-equivalence tests).
+        the trace-equivalence tests).  ``docs/fast_path.md`` specifies the
+        coalescing contract.
+    coalesce_stagger:
+        Allow the fast path to coalesce *phase-staggered* period windows:
+        pending flit transfers may sit at several deadlines (congruence
+        classes modulo ``channel_latency_ns``) within one channel period
+        instead of one synchronized tick, so concurrently-active worms that
+        started on different cycles — e.g. under Poisson arrivals — still
+        batch.  Ignored when ``fast_path`` is off.
+    coalesce_bubbles:
+        Allow the fast path to coalesce *bubble-periodic* steady states:
+        windows whose only non-body activity is a fixed per-tick bubble
+        emission from blocked multicast branches (the bubble signature —
+        buffer contents, creation count, trace records — must repeat
+        exactly).  Ignored when ``fast_path`` is off.
     """
 
     startup_latency_ns: int = 10_000
@@ -76,6 +90,8 @@ class SimulationConfig:
     collect_channel_stats: bool = False
     trace: bool = False
     fast_path: bool = True
+    coalesce_stagger: bool = True
+    coalesce_bubbles: bool = True
 
     def __post_init__(self) -> None:
         if self.startup_latency_ns < 0:

@@ -24,31 +24,49 @@ Steady-state fast path
 The dominant cost of a run is one heap event per flit per hop.  Most of
 those events occur during *steady-state streaming*: every worm segment is
 ``ACTIVE`` with all output channels acquired, every busy link completes one
-**body** flit per ``channel_latency_ns``, and the system state repeats
-tick after tick except that each flit sequence number advances by one.
+flit per ``channel_latency_ns``, and the system state repeats period after
+period except that each data-flit sequence number advances by one.
 
 When ``SimulationConfig.fast_path`` is enabled (the default), the engine
-detects this situation and coalesces it: it executes one full tick through
-the ordinary per-flit machinery, verifies that the tick was *self-similar*
-(identical link/segment/NI state with every moved flit a body flit shifted
-by exactly one sequence number, no trace output, no bubbles, no completions),
-and then replays ``k`` further ticks arithmetically — flit sequence numbers,
-source-NI cursors, ``flit_hops``, per-channel counters, busy-time accounting
-and the pending transfer deadlines are all advanced in O(links) instead of
-O(k × links) heap events.  ``k`` is capped so the batch ends strictly before
-the first non-transfer event, before any head or tail flit would move, and
-before a bounded run's window boundary.
+detects this situation and coalesces it: it executes one full *period
+window* — every event in ``[t0, t0 + channel_latency_ns)`` — through the
+ordinary per-flit machinery, verifies that the window was *self-similar*,
+and then replays ``k`` further windows arithmetically: flit sequence
+numbers, source-NI cursors, ``flit_hops``, bubble counters, per-channel
+counters, busy-time accounting, trace records and the pending transfer
+deadlines are all advanced in O(links) instead of O(k × links) heap events.
+``k`` is capped so the batch ends strictly before the first non-transfer
+event, before any head or tail flit would move, and before a bounded run's
+window boundary.  Three steady-state patterns coalesce:
 
-**Equivalence guarantee:** because the verification tick *is* the reference
-execution and self-similarity is checked structurally (buffer contents,
-segment states, event order), every observable quantity — delivery
-timestamps, :class:`~repro.simulator.trace.Trace` records, message records,
-``flit_hops``, bubble counts and per-channel statistics — is bit-identical
-to a run with ``fast_path=False``.  The trace-equivalence tests in
-``tests/test_fast_path.py`` assert this on the Figure 1 network and on
-irregular lattice networks, including scenarios with asynchronous-replication
-bubbles, OCRQ contention and bounded ``run_for`` windows.  Anything the
-verifier cannot prove self-similar simply runs on the per-flit substrate.
+* **synchronized body streaming** — every pending transfer completes at the
+  same deadline and every wire flit is a body flit shifted by exactly one
+  sequence number per tick;
+* **phase-staggered streaming** (``SimulationConfig.coalesce_stagger``) —
+  pending transfers sit at several deadlines (congruence classes modulo the
+  channel period) within one window, as happens when concurrently-active
+  worms started on different cycles (e.g. Poisson arrivals); each class
+  advances by the period independently;
+* **bubble-periodic streaming** (``SimulationConfig.coalesce_bubbles``) —
+  blocked multicast branches emit a fixed set of bubbles per period
+  (asynchronous replication); the window is self-similar *including* its
+  bubble signature: bubble buffer contents are bit-identical, and the
+  bubble-creation count, per-link bubble counters and ``bubble`` trace
+  records advance by the same fixed amount every period.
+
+**Equivalence guarantee:** because the verification window *is* the
+reference execution and self-similarity is checked structurally (buffer
+contents, segment states, event order), every observable quantity —
+delivery timestamps, :class:`~repro.simulator.trace.Trace` records, message
+records, ``flit_hops``, bubble counts and per-channel statistics — is
+bit-identical to a run with ``fast_path=False``.  The trace-equivalence
+tests in ``tests/test_fast_path.py`` assert this on the Figure 1 network and
+on irregular lattice networks, including scenarios with
+asynchronous-replication bubbles, OCRQ contention, Poisson and
+negative-binomial arrivals, phase-staggered worms and bounded ``run_for``
+windows.  Anything the verifier cannot prove self-similar simply runs on
+the per-flit substrate.  ``docs/fast_path.md`` specifies the contract in
+full, including how to add a new coalescible pattern safely.
 """
 
 from __future__ import annotations
@@ -69,7 +87,7 @@ from .links import LinkState
 from .message import Message
 from .router import SourceInterface, WormSegment
 from .stats import ChannelRecord, SimulationStats
-from .trace import Trace
+from .trace import Trace, TraceEvent
 
 __all__ = ["WormholeSimulator"]
 
@@ -148,6 +166,8 @@ class WormholeSimulator:
         self.completion_callbacks: list[CompletionCallback] = []
         # Hot-path caches (attribute chains are expensive in the event loop).
         self._collect_stats = self.config.collect_channel_stats
+        self._coalesce_stagger = self.config.coalesce_stagger
+        self._coalesce_bubbles = self.config.coalesce_bubbles
         # Fast-path bookkeeping: earliest time a coalesce attempt is allowed.
         # Each tick is probed at most once, and an attempt that paid for a
         # snapshot but failed verification backs off for a few ticks (failed
@@ -158,6 +178,20 @@ class WormholeSimulator:
         #: engine-side observability counter; not part of the simulation's
         #: observable results, which are identical with the fast path off).
         self.coalesced_ticks = 0
+        #: Of :attr:`coalesced_ticks`, how many were replayed from a window
+        #: whose transfers were pending at more than one deadline (the
+        #: phase-staggered pattern), and from a window that carried a
+        #: per-tick bubble signature (the bubble-periodic pattern).  The two
+        #: overlap when a staggered window also emits bubbles.
+        self.coalesced_stagger_ticks = 0
+        self.coalesced_bubble_ticks = 0
+        #: Probe economics (observability for tuning ``_MIN_BATCH_TICKS`` and
+        #: the backoff): windows that passed the cheap scan and paid for a
+        #: snapshot, batches that actually advanced, and snapshots wasted on
+        #: a failed self-similarity check.
+        self.coalesce_snapshots = 0
+        self.coalesce_batches = 0
+        self.coalesce_verify_failures = 0
 
     # ------------------------------------------------------------------
     # Time and scheduling helpers
@@ -249,8 +283,8 @@ class WormholeSimulator:
         complete_transfer = self._complete_transfer
         # The loop body below is ``pop_entry()`` unrolled by hand: this is the
         # hottest loop in the repository and method/property calls per event
-        # are measurable.  ``heap`` aliases the live heap list (rebases are
-        # in-place), so pushes from callbacks remain visible.
+        # are measurable.  ``heap`` aliases the live heap list (batch retimes
+        # are in-place), so pushes from callbacks remain visible.
         heap = events._heap
         while heap:
             t0 = heap[0][0]
@@ -296,62 +330,87 @@ class WormholeSimulator:
     # Steady-state coalescing fast path
     # ------------------------------------------------------------------
     def _coalesce_tick(self, t0: int, until_ns: int | None) -> bool:
-        """Attempt to coalesce the synchronized transfer tick at ``t0``.
+        """Attempt to coalesce the steady-state period window starting at
+        ``t0`` (every event in ``[t0, t0 + channel_latency_ns)``).
 
-        Returns ``True`` when the tick was executed here (through the
+        Returns ``True`` when the window was executed here (through the
         ordinary per-flit machinery) — whether or not a batch advance
         followed.  Returns ``False`` without touching any state when the
         preconditions fail cheaply; the caller then pops events normally.
         """
         events = self.events
         latency = self.config.channel_latency_ns
-        # Probe each tick at most once (re-opened below on a verify failure).
+        # Probe each window at most once (re-opened below on a verify failure).
         self._coalesce_gate_ns = t0 + latency
-        # -- Cheap scan (unsorted): every pending transfer must complete at
-        # t0 (one synchronized tick), any generic event must be far enough
-        # away for a worthwhile batch, every wire flit must be a body flit,
-        # and the batch can extend at most until the first of them would
-        # become a tail.  This rejects head crawls and worm-drain phases
-        # before paying for a sort or a snapshot.
+        window_end = t0 + latency
+        # -- Cheap scan (unsorted): every pending transfer must complete
+        # within the period window (at exactly t0 unless phase-staggered
+        # windows are allowed), any generic event must be far enough away for
+        # a worthwhile batch, every wire flit must be a body flit (or a
+        # bubble, when bubble-periodic windows are allowed), and the batch
+        # can extend at most until the first body flit would become a tail.
+        # This rejects head crawls and worm-drain phases before paying for a
+        # sort or a snapshot.
         messages = self.messages
+        allow_stagger = self._coalesce_stagger
+        allow_bubbles = self._coalesce_bubbles
+        d_max = t0
         t_other: int | None = None
         flit_cap: int | None = None
         for time_ns, _seq, kind, payload in events._heap:
             if kind:
                 if time_ns != t0:
-                    return False
+                    if not allow_stagger or time_ns >= window_end:
+                        return False
+                    if time_ns > d_max:
+                        d_max = time_ns
                 out = payload.out_buffer
                 if not out._slots:
                     return False
                 flit = out._slots[0]
-                if flit.kind is not FlitKind.BODY:
+                flit_kind = flit.kind
+                if flit_kind is FlitKind.BODY:
+                    limit = messages[flit.message_id].length_flits - 2 - flit.seq
+                    if flit_cap is None or limit < flit_cap:
+                        flit_cap = limit
+                elif flit_kind is not FlitKind.BUBBLE or not allow_bubbles:
                     return False
-                limit = messages[flit.message_id].length_flits - 2 - flit.seq
-                if flit_cap is None or limit < flit_cap:
-                    flit_cap = limit
             elif t_other is None or time_ns < t_other:
                 t_other = time_ns
         cap = flit_cap
         if t_other is not None:
-            # Batch ticks must end strictly before the first generic event.
-            other_cap = (t_other - t0 - 1) // latency
+            # Every replayed window must end strictly before the first
+            # generic event; the window's latest deadline is the binding one.
+            other_cap = (t_other - 1 - d_max) // latency
             if cap is None or other_cap < cap:
                 cap = other_cap
         if until_ns is not None:
-            cap_until = (until_ns - t0) // latency
+            cap_until = (until_ns - d_max) // latency
             if cap is None or cap_until < cap:
                 cap = cap_until
         if cap is not None and cap < _MIN_BATCH_TICKS + 1:
             return False
-        moving = [entry[3] for entry in sorted(events._heap) if entry[2]]
+        if flit_cap is None and cap is None:
+            # A pure-bubble window with no bounding event: the stall that
+            # feeds the bubbles can only resolve through an event this scan
+            # cannot see, so never replay it arithmetically.
+            return False
+        # Pending transfers in per-flit completion order: (deadline, link,
+        # whether the wire flit is a bubble).
+        moving = [
+            (entry[0], entry[3], entry[3].out_buffer._slots[0].kind is FlitKind.BUBBLE)
+            for entry in sorted(events._heap)
+            if entry[2]
+        ]
 
-        # -- Snapshot the closure of state the tick can touch: the moving
+        # -- Snapshot the closure of state the window can touch: the moving
         # links themselves plus every buffer their sink segments replicate
         # into and their feeders drain from.
+        self.coalesce_snapshots += 1
         closure: dict[LinkState, None] = {}
         segments: dict[WormSegment, None] = {}
         interfaces: dict[SourceInterface, None] = {}
-        for link in moving:
+        for _time, link, _bubble in moving:
             closure[link] = None
             sink = link.sink_segment
             if sink is not None:
@@ -389,35 +448,46 @@ class WormholeSimulator:
             (ni, ni.current, ni.next_seq, len(ni.queue)) for ni in interfaces
         ]
         stats = self.stats
-        pre_counters = (stats.bubbles_created, stats.messages_completed, len(self._segments))
+        pre_bubbles = stats.bubbles_created
+        pre_counters = (stats.messages_completed, len(self._segments))
         trace = self.trace
         pre_trace_len = len(trace.events) if trace is not None else 0
         pre_heap_len = len(events._heap)
 
-        # -- Execute the tick exactly as the reference per-flit engine would.
+        # -- Execute the window exactly as the reference per-flit engine
+        # would.  Body/bubble completions never schedule a generic event and
+        # reschedule their transfers one full period out, so nothing new can
+        # land inside the window; a generic that does fire here was already
+        # pending and disqualifies the window (after running, as reference).
         complete_transfer = self._complete_transfer
         pop_entry = events.pop_entry
         heap = events._heap
-        while heap and heap[0][0] == t0:
+        executed_generic = False
+        while heap and heap[0][0] < window_end:
             entry = pop_entry()
             if entry[2]:
                 complete_transfer(entry[3])
-            else:  # pragma: no cover - body ticks never schedule same-time generics
+            else:  # pragma: no cover - rejected by the t_other cap above
+                executed_generic = True
                 entry[3]()
 
-        # -- Verify the tick was self-similar; any mismatch means the per-flit
-        # execution (which just ran) simply continues event by event.
+        # -- Verify the window was self-similar; any mismatch means the
+        # per-flit execution (which just ran) simply continues event by event.
         count = len(moving)
-        if events._transfer_pending != count or len(heap) != pre_heap_len:
+        if (
+            executed_generic
+            or events._transfer_pending != count
+            or len(heap) != pre_heap_len
+        ):
             return self._coalesce_backoff(t0, latency)
-        if (stats.bubbles_created, stats.messages_completed, len(self._segments)) != pre_counters:
+        if (stats.messages_completed, len(self._segments)) != pre_counters:
             return self._coalesce_backoff(t0, latency)
-        if trace is not None and len(trace.events) != pre_trace_len:
+        bubble_rate = stats.bubbles_created - pre_bubbles
+        if bubble_rate and not allow_bubbles:
             return self._coalesce_backoff(t0, latency)
-        t1 = t0 + latency
         post_transfers = sorted(entry for entry in heap if entry[2])
-        for entry, link in zip(post_transfers, moving):
-            if entry[0] != t1 or entry[3] is not link:
+        for entry, (pre_time, link, _bubble) in zip(post_transfers, moving):
+            if entry[0] != pre_time + latency or entry[3] is not link:
                 return self._coalesce_backoff(t0, latency)
         for seg, state, head_replicated, outputs, required in pre_segments:
             if (
@@ -457,6 +527,10 @@ class WormholeSimulator:
                     (f.kind, f.message_id, f.seq) for f in buffer.flits()
                 )
                 if post_flits == pre_flits:
+                    # Unchanged contents: either the buffer was not touched,
+                    # or a bubble was re-emitted with the identical signature
+                    # (bubbles reuse the stalled data flit's sequence number,
+                    # so a periodic bubble stream is a fixed point here).
                     continue
                 if len(post_flits) != len(pre_flits):
                     return self._coalesce_backoff(t0, latency)
@@ -473,30 +547,46 @@ class WormholeSimulator:
                     if bound is None or limit < bound:
                         bound = limit
                 shifting.append((buffer, post_flits))
-        if bound is None:
-            return self._coalesce_backoff(t0, latency)
 
-        # -- Batch advance: replay k further identical ticks arithmetically.
-        k = bound if cap is None else min(bound, cap)
+        # -- Batch advance: replay k further identical windows arithmetically.
+        if bound is None:
+            if cap is None:
+                return self._coalesce_backoff(t0, latency)
+            k = cap
+        else:
+            k = bound if cap is None else min(bound, cap)
         if k < _MIN_BATCH_TICKS:
             return self._coalesce_backoff(t0, latency)
         advance = k * latency
         stats.flit_hops += k * count
+        stats.bubbles_created += k * bubble_rate
         if self._collect_stats:
-            for link in moving:
-                link.data_flits_carried += k
-                link.busy_total_ns += advance
-                if link.busy_since_ns is not None:
-                    link.busy_since_ns += advance
+            for _time, link, bubble in moving:
+                link.fast_forward(k, advance, bubble)
         for buffer, post_flits in shifting:
             buffer.replace_contents(
                 Flit(kind, mid, seq + k) for kind, mid, seq in post_flits
             )
         for ni in pushing:
             ni.next_seq += k
-        events.rebase_transfers(t0 + advance, t0 + advance + latency)
+        if trace is not None and len(trace.events) != pre_trace_len:
+            # A self-similar window records the identical trace events every
+            # period (bubble records carry only message/switch fields), so
+            # the replayed windows' records are the window's shifted in time.
+            window_records = trace.events[pre_trace_len:]
+            append = trace.events.append
+            for tick in range(1, k + 1):
+                delta = tick * latency
+                for record in window_records:
+                    append(TraceEvent(record.time_ns + delta, record.kind, record.fields))
+        events.shift_transfers(d_max + advance, advance)
         self._coalesce_fail_streak = 0
+        self.coalesce_batches += 1
         self.coalesced_ticks += k
+        if d_max != t0:
+            self.coalesced_stagger_ticks += k
+        if bubble_rate:
+            self.coalesced_bubble_ticks += k
         return True
 
     def _coalesce_backoff(self, t0: int, latency: int) -> bool:
@@ -505,6 +595,7 @@ class WormholeSimulator:
         failures keep coming (e.g. a long bubble storm on a big multicast
         tree).  Always returns ``True`` (the tick itself ran through the
         reference machinery)."""
+        self.coalesce_verify_failures += 1
         streak = self._coalesce_fail_streak
         self._coalesce_fail_streak = streak + 1
         # min() the shift amount, not just the result: an unbounded shift

@@ -21,6 +21,10 @@ The queue additionally tracks how many pending entries are transfer events
 simulator may be in a steady-state streaming phase; the engine's fast path
 (``WormholeSimulator._coalesce_tick``) probes that case and uses the tag in
 each entry to bound its batches strictly before the next generic event.
+After a verified batch the engine retimes the surviving transfer entries in
+bulk with :meth:`EventQueue.shift_transfers` (synchronized windows are just
+the single-deadline special case); the coalescing contract this upholds is
+specified in ``docs/fast_path.md``.
 """
 
 from __future__ import annotations
@@ -149,17 +153,20 @@ class EventQueue:
             )
         self.now = time_ns
 
-    def rebase_transfers(self, now_ns: int, time_ns: int) -> None:
-        """Batch-advance: move the clock to ``now_ns`` and reschedule every
-        pending transfer entry at ``time_ns``, preserving their relative
-        (FIFO) order.  Generic entries are left untouched.
+    def shift_transfers(self, now_ns: int, delta_ns: int) -> None:
+        """Batch-advance: move the clock to ``now_ns`` and push every pending
+        transfer deadline ``delta_ns`` into the future, preserving both each
+        entry's congruence class (deadline mod period) and the relative
+        (time, FIFO) order of the transfers.  Generic entries are untouched.
 
         The engine calls this after arithmetically replaying ``k`` identical
-        steady-state ticks; the surviving transfer deadlines must land where
-        the per-flit execution would have put them.
+        steady-state period windows: transfers that were pending at staggered
+        deadlines ``d`` must land at ``d + k * period``, exactly where the
+        per-flit execution would have rescheduled them (a synchronized window
+        is simply the special case where every deadline is the same).
         """
-        if now_ns < self.now or time_ns < now_ns:
-            raise SimulationError("transfer rebase would move time backwards")
+        if delta_ns < 0 or now_ns < self.now:
+            raise SimulationError("transfer shift would move time backwards")
         entries = sorted(self._heap)
         rebased = []
         # Generic entries keep their deadlines and receive the smaller fresh
@@ -170,13 +177,13 @@ class EventQueue:
             if entry[2] != _TRANSFER:
                 if entry[0] < now_ns:
                     raise SimulationError(
-                        "transfer rebase would overtake a pending generic event"
+                        "transfer shift would overtake a pending generic event"
                     )
                 rebased.append((entry[0], self._seq, entry[2], entry[3]))
                 self._seq += 1
         for entry in entries:
             if entry[2] == _TRANSFER:
-                rebased.append((time_ns, self._seq, _TRANSFER, entry[3]))
+                rebased.append((entry[0] + delta_ns, self._seq, _TRANSFER, entry[3]))
                 self._seq += 1
         rebased.sort()
         # In-place so aliases of the heap list (the engine's run loop holds

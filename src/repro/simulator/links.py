@@ -103,6 +103,20 @@ class LinkState:
             self.busy_total_ns += now_ns - self.busy_since_ns
             self.busy_since_ns = None
 
+    def fast_forward(self, k: int, advance_ns: int, bubble: bool) -> None:
+        """Advance the utilisation counters by ``k`` coalesced steady-state
+        ticks (``advance_ns == k * latency_ns``): the wire carried one flit of
+        the same kind per tick and stayed continuously busy, so the open busy
+        period simply slides forward with the clock (channel-statistics mode
+        only; the engine's fast path is the single caller)."""
+        if bubble:
+            self.bubble_flits_carried += k
+        else:
+            self.data_flits_carried += k
+        self.busy_total_ns += advance_ns
+        if self.busy_since_ns is not None:
+            self.busy_since_ns += advance_ns
+
     def busy_ns_until(self, now_ns: int) -> int:
         """Total busy time up to ``now_ns``, including a still-open period.
 

@@ -4,11 +4,13 @@ regression tests for the partial-run clock and channel-utilisation fixes.
 The fast path's contract is *bit-identical observable behaviour*: delivery
 timestamps, trace records, message statistics, flit-hop counts, bubble
 counts and per-channel utilisation must not change when event coalescing is
-enabled.  Every scenario here runs twice — ``fast_path=True`` against
-``fast_path=False`` (the reference per-flit execution) — and compares the
-full observable fingerprint.  Where a scenario is expected to reach a
-steady state, the test additionally asserts that the fast path actually
-coalesced something, so the equivalence claim is not vacuous.
+enabled (see ``docs/fast_path.md`` for the full contract).  Every scenario
+here runs twice — ``fast_path=True`` against ``fast_path=False`` (the
+reference per-flit execution) — and compares the full observable
+fingerprint.  Where a scenario is expected to reach a steady state, the
+test additionally asserts that the fast path actually coalesced something
+(and, for the phase-staggered and bubble-periodic patterns, that the
+corresponding mode engaged), so the equivalence claim is not vacuous.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import WormholeSimulator
 from repro.topology.examples import two_switch_network
 from repro.topology.irregular import lattice_irregular_network
+from repro.traffic.arrivals import NegativeBinomialArrivals, PoissonArrivals
+from repro.traffic.workload import mixed_traffic_workload
 
 
 def _fingerprint(simulator, stats):
@@ -47,12 +51,24 @@ def _fingerprint(simulator, stats):
     }
 
 
-def _run_pair(network, routing, submit, flits, run=None, expect_coalesced=False):
+def _run_pair(
+    network,
+    routing,
+    submit,
+    flits,
+    run=None,
+    expect_coalesced=False,
+    expect_stagger=False,
+    expect_bubbles=False,
+    **overrides,
+):
     """Run a scenario with the fast path on and off; assert identical output.
 
     ``submit`` receives the simulator and schedules the workload; ``run``
     (default: one unbounded ``run()``) drives the simulation and returns the
-    final stats.  Returns the fast-path simulator for extra assertions.
+    final stats.  ``overrides`` are extra :class:`SimulationConfig` fields
+    (e.g. ``coalesce_stagger=False``).  Returns the fast-path simulator for
+    extra assertions.
     """
     results = []
     simulators = []
@@ -62,6 +78,7 @@ def _run_pair(network, routing, submit, flits, run=None, expect_coalesced=False)
             fast_path=fast,
             trace=True,
             collect_channel_stats=True,
+            **overrides,
         )
         simulator = WormholeSimulator(network, routing, config)
         submit(simulator)
@@ -72,10 +89,19 @@ def _run_pair(network, routing, submit, flits, run=None, expect_coalesced=False)
     assert ref_sim.coalesced_ticks == 0
     if expect_coalesced:
         assert fast_sim.coalesced_ticks > 0, "fast path never engaged; test is vacuous"
+    if expect_stagger:
+        assert fast_sim.coalesced_stagger_ticks > 0, (
+            "no phase-staggered window coalesced; test is vacuous"
+        )
+    if expect_bubbles:
+        assert fast_sim.coalesced_bubble_ticks > 0, (
+            "no bubble-periodic window coalesced; test is vacuous"
+        )
     assert results[0] == results[1]
     return fast_sim
 
 
+@pytest.mark.equivalence
 class TestTraceEquivalence:
     def test_figure1_multicast_with_replication_bubbles(self, figure1):
         """The paper's §3.2 walk-through network: asynchronous replication
@@ -157,6 +183,195 @@ class TestTraceEquivalence:
         message_u = unbounded.submit_broadcast(lattice32.processors()[0])
         unbounded.run()
         assert message_w.delivered_ns == message_u.delivered_ns
+
+
+@pytest.mark.equivalence
+class TestGeneralizedCoalescing:
+    """The phase-staggered and bubble-periodic extensions of the fast path.
+
+    Each scenario asserts the bit-identical fingerprint *and* that the mode
+    under test actually replayed windows arithmetically (via the engine's
+    ``coalesced_stagger_ticks`` / ``coalesced_bubble_ticks`` counters), so
+    the equivalence claim is not vacuous.
+    """
+
+    def _mixed_workload(self, network, arrival_process):
+        return mixed_traffic_workload(
+            network,
+            rate_per_us=0.03,
+            multicast_destinations=8,
+            num_messages=36,
+            multicast_fraction=0.15,
+            seed=23,
+            arrival_process=arrival_process,
+        )
+
+    def test_poisson_arrivals_mixed_traffic(self, lattice32, lattice32_spam):
+        """Figure-3-style mixed traffic with Poisson arrivals: message starts
+        fall on arbitrary nanoseconds, so concurrently-active worms stream in
+        different congruence classes modulo the channel period — the
+        phase-stagger mode must coalesce them and stay bit-identical."""
+        workload = self._mixed_workload(lattice32, PoissonArrivals(0.03))
+
+        fast_sim = _run_pair(
+            lattice32,
+            lattice32_spam,
+            workload.submit_to,
+            flits=64,
+            expect_coalesced=True,
+            expect_stagger=True,
+        )
+        assert fast_sim.stats.bubbles_created > 0
+
+    def test_negative_binomial_arrivals_mixed_traffic(self, lattice32, lattice32_spam):
+        """The paper's negative-binomial arrivals are quantised to the channel
+        period, so worms stay phase-aligned; equivalence must hold through the
+        mixed unicast/multicast contention (including bubble-periodic
+        windows from blocked multicast branches)."""
+        workload = self._mixed_workload(lattice32, NegativeBinomialArrivals(0.03))
+
+        _run_pair(
+            lattice32,
+            lattice32_spam,
+            workload.submit_to,
+            flits=64,
+            expect_coalesced=True,
+            expect_bubbles=True,
+        )
+
+    def test_phase_staggered_cross_traffic(self, lattice32, lattice32_spam):
+        """Eight long unicasts deliberately submitted 3 ns apart (not a
+        multiple of the 10 ns channel period) stream concurrently in
+        different congruence classes; the stagger mode must batch them."""
+        processors = lattice32.processors()
+
+        def submit(sim):
+            for index in range(8):
+                sim.submit_message(
+                    processors[index],
+                    [processors[(index + 11) % len(processors)]],
+                    at_ns=index * 3,
+                )
+
+        _run_pair(
+            lattice32,
+            lattice32_spam,
+            submit,
+            flits=256,
+            expect_coalesced=True,
+            expect_stagger=True,
+        )
+
+    def test_stagger_disabled_still_equivalent(self, lattice32, lattice32_spam):
+        """With ``coalesce_stagger=False`` the same workload must fall back to
+        synchronized-only coalescing — still bit-identical, never staggered."""
+        processors = lattice32.processors()
+
+        def submit(sim):
+            for index in range(8):
+                sim.submit_message(
+                    processors[index],
+                    [processors[(index + 11) % len(processors)]],
+                    at_ns=index * 3,
+                )
+
+        fast_sim = _run_pair(
+            lattice32, lattice32_spam, submit, flits=256, coalesce_stagger=False
+        )
+        assert fast_sim.coalesced_stagger_ticks == 0
+
+    def _bubble_periodic_submit(self, processors):
+        """A long unicast acquires channels that one branch of a following
+        multicast needs; while the branch waits, the multicast's fork segment
+        emits one bubble per period into its free branch — a bubble-periodic
+        steady state lasting most of the unicast's drain."""
+
+        def submit(sim):
+            sim.submit_message(processors[1], [processors[10]], at_ns=0)
+            sim.submit_message(
+                processors[0],
+                [p for p in processors[8:24] if p != processors[0]],
+                at_ns=200,
+            )
+
+        return submit
+
+    def test_bubble_periodic_blocked_branch(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        fast_sim = _run_pair(
+            lattice32,
+            lattice32_spam,
+            self._bubble_periodic_submit(processors),
+            flits=256,
+            expect_coalesced=True,
+            expect_bubbles=True,
+        )
+        assert fast_sim.stats.bubbles_created > 0
+
+    def test_bubbles_disabled_still_equivalent(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        fast_sim = _run_pair(
+            lattice32,
+            lattice32_spam,
+            self._bubble_periodic_submit(processors),
+            flits=256,
+            coalesce_bubbles=False,
+        )
+        assert fast_sim.coalesced_bubble_ticks == 0
+
+    def test_bubble_counters_match_reference_exactly(self, lattice32, lattice32_spam):
+        """Regression for the closed-form bubble replay: the total bubble
+        count and every per-channel ``bubble_flits`` counter must equal the
+        reference engine's, flit for flit."""
+        processors = lattice32.processors()
+        counters = []
+        for fast in (True, False):
+            config = SimulationConfig(
+                message_length_flits=256,
+                fast_path=fast,
+                collect_channel_stats=True,
+            )
+            simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+            self._bubble_periodic_submit(processors)(simulator)
+            stats = simulator.run()
+            counters.append(
+                (
+                    stats.bubbles_created,
+                    [(rec.cid, rec.bubble_flits) for rec in stats.channel_records],
+                )
+            )
+        fast_counters, ref_counters = counters
+        assert ref_counters[0] > 0
+        assert fast_counters == ref_counters
+
+    def test_bounded_windows_with_staggered_worms(self, lattice32, lattice32_spam):
+        """``run_for`` windows that cut staggered batches short must still
+        tile time exactly and stay bit-identical."""
+        processors = lattice32.processors()
+
+        def submit(sim):
+            for index in range(6):
+                sim.submit_message(
+                    processors[index],
+                    [processors[(index + 11) % len(processors)]],
+                    at_ns=index * 7,
+                )
+
+        def run(sim):
+            stats = sim.stats
+            while sim.pending_messages:
+                stats = sim.run_for(997)  # deliberately not a period multiple
+            return stats
+
+        _run_pair(
+            lattice32,
+            lattice32_spam,
+            submit,
+            flits=256,
+            run=run,
+            expect_coalesced=True,
+            expect_stagger=True,
+        )
 
 
 class TestPartialRunClock:

@@ -197,28 +197,50 @@ class TestEventQueueTransferEntries:
         with pytest.raises(SimulationError):
             queue.advance_to(200)  # never past a pending event
 
-    def test_rebase_preserves_fifo_and_generic_priority(self):
+    def test_shift_preserves_congruence_classes_and_order(self):
+        """The phase-staggered batch advance: every transfer deadline moves
+        by the same delta, so staggered deadlines keep their spacing (and
+        congruence class modulo the period) and their relative order."""
         queue = EventQueue()
-        first, second = object(), object()
-        queue.schedule_transfer(10, first)
-        queue.schedule_transfer(10, second)
-        queue.schedule(40, lambda: None)
-        queue.rebase_transfers(30, 40)
-        assert queue.now == 30
-        # On the timestamp tie the generic event (scheduled first in the
-        # per-flit execution) fires before the rebased transfers, and the
-        # transfers keep their FIFO order.
+        early, late_first, late_second = object(), object(), object()
+        queue.schedule_transfer(13, early)
+        queue.schedule_transfer(17, late_first)
+        queue.schedule_transfer(17, late_second)
+        queue.shift_transfers(16, 50)
+        assert queue.now == 16
         entries = [queue.pop_entry() for _ in range(3)]
-        assert [entry[0] for entry in entries] == [40, 40, 40]
-        assert [entry[2] for entry in entries] == [0, 1, 1]
-        assert entries[1][3] is first and entries[2][3] is second
+        assert [entry[0] for entry in entries] == [63, 67, 67]
+        assert entries[0][3] is early
+        assert entries[1][3] is late_first and entries[2][3] is late_second
 
-    def test_rebase_rejects_moving_backwards(self):
+    def test_shift_keeps_generic_priority_on_ties(self):
+        queue = EventQueue()
+        transfer = object()
+        queue.schedule(40, lambda: None)
+        queue.schedule_transfer(10, transfer)
+        queue.shift_transfers(10, 30)
+        # The transfer lands on the generic event's timestamp; the generic
+        # (scheduled before the batch began) must still fire first.
+        entries = [queue.pop_entry() for _ in range(2)]
+        assert [entry[0] for entry in entries] == [40, 40]
+        assert [entry[2] for entry in entries] == [0, 1]
+        assert entries[1][3] is transfer
+
+    def test_shift_rejects_moving_backwards(self):
         queue = EventQueue()
         queue.schedule_transfer(10, object())
         queue.pop_entry()
         with pytest.raises(SimulationError):
-            queue.rebase_transfers(5, 15)
+            queue.shift_transfers(5, 10)
+        with pytest.raises(SimulationError):
+            queue.shift_transfers(15, -1)
+
+    def test_shift_refuses_to_overtake_generic_events(self):
+        queue = EventQueue()
+        queue.schedule(20, lambda: None)
+        queue.schedule_transfer(10, object())
+        with pytest.raises(SimulationError):
+            queue.shift_transfers(25, 30)
 
 
 class TestSimulationConfig:
