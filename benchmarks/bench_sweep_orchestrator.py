@@ -1,0 +1,61 @@
+"""Benchmark harness for the sweep orchestration subsystem.
+
+Measures the two costs the `repro.sweeps` layer trades between:
+
+* **cold** — a Figure-3 style sweep computed from scratch through
+  :func:`repro.sweeps.run_sweep` with a fresh content-addressed store
+  (simulation dominates; the store adds per-point checkpoint appends);
+* **warm** — the identical sweep re-run against the populated store
+  (pure index lookups + JSONL reads; no simulator involvement).
+
+Asserts the subsystem's contract along the way: the warm run computes
+nothing, returns bit-identical latencies, and is at least 10x faster than
+the cold run (the acceptance floor; in practice it is orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.common import current_scale
+from repro.experiments.figure3 import Figure3Config, figure3_specs
+from repro.sweeps import ResultStore, run_sweep
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_sweep_cold_vs_warm_cache(benchmark, record_result, tmp_path):
+    config = Figure3Config(
+        network_size=64,
+        multicast_degrees=(8, 16),
+        arrival_rates_per_us=(0.005, 0.02),
+        scale=current_scale(),
+    )
+    specs = figure3_specs(config)
+    store_dir = tmp_path / "sweep-cache"
+
+    t0 = time.perf_counter()
+    cold = run_sweep(specs, store=ResultStore(store_dir))
+    cold_seconds = time.perf_counter() - t0
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(specs, store=ResultStore(store_dir)), rounds=1, iterations=1
+    )
+    warm_seconds = benchmark.stats.stats.mean if benchmark.stats else 0.0
+
+    assert warm.computed == 0 and warm.cache_hits == len(specs)
+    assert [r.latencies_us for r in warm.results] == [
+        r.latencies_us for r in cold.results
+    ], "warm-cache results must be bit-identical to the cold run"
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
+
+    record_result(
+        "sweep_orchestrator_cache",
+        "Sweep orchestrator — cold compute vs warm content-addressed cache\n"
+        f"points={len(specs)}, scale={config.resolved_scale().name}\n"
+        f"cold: {cold_seconds:.3f} s ({cold.summary()})\n"
+        f"warm: {warm_seconds:.6f} s ({warm.summary()})\n"
+        f"speedup: {speedup:.0f}x",
+    )

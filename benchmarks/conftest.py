@@ -14,6 +14,13 @@ ablation) and
 The scale is controlled by the ``REPRO_SCALE`` environment variable exactly
 like the experiment drivers (``smoke`` / ``default`` / ``paper``); benchmarks
 default to the ``default`` scale.
+
+The figure and ablation harnesses call the experiment drivers, which route
+through the :mod:`repro.sweeps` orchestrator: set ``REPRO_SWEEP_WORKERS=N``
+to spread sweep points over ``N`` worker processes (the timing then reports
+the sharded wall-clock).  No result store is passed, so benchmark timings
+always measure real simulation, never cache hits;
+``bench_sweep_orchestrator.py`` measures the cache itself.
 """
 
 from __future__ import annotations

@@ -44,9 +44,12 @@ Sub-packages
     Statistics, sweep containers, software-multicast bounds, report tables.
 ``repro.verification``
     Channel-dependency-graph and reachability checks, stress harnesses.
+``repro.sweeps``
+    Sweep orchestration: hashable point specs, a content-addressed result
+    store and a resumable parallel scheduler shared by every experiment.
 ``repro.experiments``
     Drivers regenerating Figures 2 and 3, the software-multicast comparison
-    and the ablation studies.
+    and the ablation studies (all routed through ``repro.sweeps``).
 """
 
 from .core.multicast import MulticastPlan, build_multicast_plan
@@ -69,6 +72,7 @@ from .simulator.engine import WormholeSimulator
 from .simulator.message import Message
 from .simulator.stats import SimulationStats
 from .spanning.tree import bfs_spanning_tree
+from .sweeps import ResultStore, SweepPointResult, SweepPointSpec, run_sweep
 from .topology.examples import figure1_network
 from .topology.irregular import lattice_irregular_network, random_irregular_network
 from .topology.network import Network
@@ -107,6 +111,11 @@ __all__ = [
     # Traffic
     "single_multicast_workload",
     "mixed_traffic_workload",
+    # Sweep orchestration
+    "SweepPointSpec",
+    "SweepPointResult",
+    "run_sweep",
+    "ResultStore",
     # Errors
     "ReproError",
     "TopologyError",

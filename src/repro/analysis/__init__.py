@@ -10,7 +10,7 @@ from .bounds import (
 )
 from .report import format_markdown_table, format_sweep, format_table, series_side_by_side
 from .stats import SampleSummary, confidence_interval, relative_half_width, summarize_samples
-from .sweeps import SweepPoint, SweepResult, SweepSeries
+from .sweeps import SweepPoint, SweepResult, SweepSeries, sweep_result_from_points
 
 __all__ = [
     "SampleSummary",
@@ -20,6 +20,7 @@ __all__ = [
     "SweepPoint",
     "SweepSeries",
     "SweepResult",
+    "sweep_result_from_points",
     "software_multicast_lower_bound_us",
     "software_multicast_latency_model",
     "SoftwareBoundComparison",

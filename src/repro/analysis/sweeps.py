@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 
 from .stats import SampleSummary, summarize_samples
 
-__all__ = ["SweepPoint", "SweepSeries", "SweepResult"]
+__all__ = ["SweepPoint", "SweepSeries", "SweepResult", "sweep_result_from_points"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +28,10 @@ class SweepPoint:
     def mean(self) -> float:
         """Mean observation at this point."""
         return self.summary.mean
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view: the x coordinate plus the summary."""
+        return {"x": self.x, **self.summary.as_dict()}
 
 
 @dataclass
@@ -62,6 +66,14 @@ class SweepSeries:
     def max_mean(self) -> float:
         """Largest mean over the series."""
         return max(self.means()) if self.points else float("nan")
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view of the series."""
+        return {
+            "label": self.label,
+            "metadata": dict(self.metadata),
+            "points": [point.as_dict() for point in self.points],
+        }
 
 
 @dataclass
@@ -104,3 +116,57 @@ class SweepResult:
                     "samples": point.summary.count,
                 }
                 yield row
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view of the whole figure.
+
+        The output is a pure function of the sweep data (no timestamps, no
+        environment), so two runs with identical latencies export
+        byte-identical JSON — the property the sweep cache's bit-identity
+        checks rely on.
+        """
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "parameters": dict(self.parameters),
+            "series": [series.as_dict() for series in self.series],
+        }
+
+
+def sweep_result_from_points(
+    name: str,
+    x_label: str,
+    y_label: str,
+    points: Iterable,
+    parameters: dict | None = None,
+    series_metadata: dict | None = None,
+) -> SweepResult:
+    """Reassemble a figure from sweep point results.
+
+    ``points`` is any iterable of objects exposing ``.spec.label`` (the
+    series the point belongs to), ``.spec.x`` and ``.latencies_us`` — in
+    practice :class:`repro.sweeps.spec.SweepPointResult` instances, fresh
+    from the scheduler or loaded back out of the result store.  Series are
+    created in first-appearance order and points keep their input order, so
+    a spec list built series-by-series reproduces the figure exactly.
+
+    ``series_metadata`` optionally maps series labels to metadata dicts
+    (e.g. ``{"128-switch network": {"num_switches": 128}}``).
+    """
+    result = SweepResult(
+        name=name,
+        x_label=x_label,
+        y_label=y_label,
+        parameters=dict(parameters or {}),
+    )
+    series_metadata = series_metadata or {}
+    by_label: dict[str, SweepSeries] = {}
+    for point in points:
+        label = point.spec.label
+        series = by_label.get(label)
+        if series is None:
+            series = result.add_series(label, **dict(series_metadata.get(label, {})))
+            by_label[label] = series
+        series.add(point.spec.x, list(point.latencies_us))
+    return result

@@ -14,11 +14,16 @@ exposes the library's main entry points without writing any Python:
     Run the deadlock/livelock verification suite on a generated topology.
 ``hotspot``
     Static root-hot-spot analysis (§5) for growing destination counts.
+``sweep``
+    Cached, resumable, parallel execution of any experiment through the
+    :mod:`repro.sweeps` orchestrator (``--workers``, ``--resume``,
+    ``--no-cache``, ``--export``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -26,9 +31,20 @@ from .analysis.hotspot import root_traversal_probability
 from .analysis.report import format_table, series_side_by_side
 from .core.spam import SpamRouting
 from .experiments.common import SCALES
-from .experiments.figure2 import Figure2Config, default_destination_counts, run_figure2
-from .experiments.figure3 import Figure3Config, run_figure3
-from .experiments.software_comparison import SoftwareComparisonConfig, run_software_comparison
+from .experiments.figure2 import (
+    Figure2Config,
+    default_destination_counts,
+    figure2_result_from_points,
+    figure2_specs,
+    run_figure2,
+)
+from .experiments.figure3 import Figure3Config, figure3_result_from_points, figure3_specs, run_figure3
+from .experiments.software_comparison import (
+    SoftwareComparisonConfig,
+    run_software_comparison,
+    software_comparison_specs,
+)
+from .sweeps import DEFAULT_STORE_DIR, ResultStore, run_sweep
 from .topology.irregular import lattice_irregular_network
 from .topology.properties import summarize
 from .topology.serialization import save_network
@@ -84,6 +100,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--bound-only", action="store_true",
         help="skip executing the binomial software baseline (faster)",
     )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="cached, resumable, parallel experiment sweeps (repro.sweeps)",
+        description=(
+            "Run an experiment through the sweep orchestrator: results are "
+            "content-addressed in the cache directory, an interrupted sweep "
+            "resumes from what it already computed, and points spread over "
+            "worker processes."
+        ),
+    )
+    sweep.add_argument("experiment", choices=["figure2", "figure3", "compare"])
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_SWEEP_WORKERS or sequential; "
+                            "0 = one per CPU)")
+    sweep.add_argument("--resume", action=argparse.BooleanOptionalAction, default=True,
+                       help="reuse stored results and compute only missing points "
+                            "(--no-resume recomputes everything)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the result store entirely (no reads, no writes)")
+    sweep.add_argument("--cache-dir", default=DEFAULT_STORE_DIR,
+                       help="result store directory (default: %(default)s)")
+    sweep.add_argument("--export", default=None, metavar="PATH",
+                       help="write the assembled figure/rows as JSON to PATH")
+    # Experiment knobs (union of the figure2/figure3/compare options).
+    sweep.add_argument("--network-sizes", type=int, nargs="+", default=[64],
+                       help="[figure2] network sizes to sweep")
+    sweep.add_argument("--network-size", type=int, default=64,
+                       help="[figure3/compare] network size")
+    sweep.add_argument("--degrees", type=int, nargs="+", default=[8, 16],
+                       help="[figure3] multicast degrees")
+    sweep.add_argument("--rates", type=float, nargs="+", default=[0.005, 0.02, 0.04],
+                       help="[figure3] per-processor arrival rates (messages/us)")
+    sweep.add_argument("--arrival", choices=["negative-binomial", "poisson"],
+                       default="negative-binomial", help="[figure3] arrival process")
+    sweep.add_argument("--destinations", type=int, nargs="+", default=[8, 32, 63],
+                       help="[compare] destination counts")
+    sweep.add_argument("--bound-only", action="store_true",
+                       help="[compare] skip the executable software baseline")
+    sweep.add_argument("--seed", type=int, default=7)
 
     verify = subparsers.add_parser("verify", help="deadlock/livelock verification")
     verify.add_argument("--switches", type=int, default=32)
@@ -152,6 +208,66 @@ def _cmd_compare(args, scale) -> int:
     return 0
 
 
+def _cmd_sweep(args, scale) -> int:
+    if args.experiment == "figure2":
+        config = Figure2Config(
+            network_sizes=tuple(args.network_sizes),
+            destination_counts={
+                size: default_destination_counts(size, points=6) for size in args.network_sizes
+            },
+            scale=scale,
+            topology_seed=args.seed,
+        )
+        specs = figure2_specs(config)
+        assemble = lambda points: figure2_result_from_points(config, points)  # noqa: E731
+    elif args.experiment == "figure3":
+        config = Figure3Config(
+            network_size=args.network_size,
+            multicast_degrees=tuple(args.degrees),
+            arrival_rates_per_us=tuple(args.rates),
+            arrival=args.arrival,
+            scale=scale,
+            topology_seed=args.seed,
+        )
+        specs = figure3_specs(config)
+        assemble = lambda points: figure3_result_from_points(config, points)  # noqa: E731
+    else:
+        config = SoftwareComparisonConfig(
+            network_size=args.network_size,
+            destination_counts=tuple(args.destinations),
+            scale=scale,
+            topology_seed=args.seed,
+            run_software_baseline=not args.bound_only,
+        )
+        specs = software_comparison_specs(config)
+        assemble = None
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
+    def progress(done, total, spec):
+        print(f"  [{done}/{total}] {spec.label} x={spec.x}", flush=True)
+
+    outcome = run_sweep(
+        specs, store=store, workers=args.workers, resume=args.resume, progress=progress
+    )
+    if assemble is not None:
+        result = assemble(outcome.results)
+        print(series_side_by_side(result))
+        exported = result.as_dict()
+    else:
+        rows = [point.metrics_dict() for point in outcome.results]
+        print(format_table(rows))
+        exported = {"experiment": args.experiment, "rows": rows}
+    print(f"sweep: {outcome.summary()}"
+          + ("" if store is None else f"  (store: {store.root})"))
+    if args.export:
+        with open(args.export, "w") as handle:
+            json.dump(exported, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"exported to {args.export}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     network = lattice_irregular_network(args.switches, seed=args.seed)
     spam = SpamRouting.build(network)
@@ -199,6 +315,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure3(args, scale)
     if args.command == "compare":
         return _cmd_compare(args, scale)
+    if args.command == "sweep":
+        return _cmd_sweep(args, scale)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "hotspot":

@@ -27,6 +27,7 @@ __all__ = [
     "FirstAllowedSelection",
     "RandomSelection",
     "make_selection",
+    "SELECTION_CLASSES",
     "SELECTION_STRATEGIES",
 ]
 
@@ -36,6 +37,13 @@ class SelectionFunction(abc.ABC):
 
     #: Short machine-readable name used in reports and benchmark labels.
     name: str = "abstract"
+
+    #: Whether :meth:`order` is a pure function of its arguments.  Stateful
+    #: selections (e.g. :class:`RandomSelection`, which consumes an RNG per
+    #: decision) must set this ``False`` so that callers never share one
+    #: instance across simulations that each need reproducible results —
+    #: the sweep layer only caches routing built on stateless selections.
+    stateless: bool = True
 
     @abc.abstractmethod
     def order(self, options: Sequence[RoutingOption], target: int) -> list[RoutingOption]:
@@ -124,6 +132,7 @@ class RandomSelection(SelectionFunction):
     """Uniformly random preference order (seeded, for reproducibility)."""
 
     name = "random"
+    stateless = False  # every order() call consumes the RNG
 
     def __init__(self, seed: int | np.random.Generator = 0) -> None:
         self._rng = (
@@ -136,8 +145,17 @@ class RandomSelection(SelectionFunction):
         return options
 
 
+#: Strategy name → implementing class (lets callers inspect class attributes
+#: such as ``stateless`` without instantiating, which for the distance-based
+#: policy would compute the all-pairs distance matrix).
+SELECTION_CLASSES = {
+    "distance-to-lca": DistanceToTargetSelection,
+    "first-allowed": FirstAllowedSelection,
+    "random": RandomSelection,
+}
+
 #: Factory registry used by experiment configuration files.
-SELECTION_STRATEGIES = ("distance-to-lca", "first-allowed", "random")
+SELECTION_STRATEGIES = tuple(SELECTION_CLASSES)
 
 
 def make_selection(

@@ -75,6 +75,19 @@ class WorkloadError(ReproError):
     multicast with zero destinations or a destination equal to the source."""
 
 
+class SweepError(ReproError):
+    """Raised by the sweep orchestration layer (:mod:`repro.sweeps`) for
+    store corruption, malformed specs and orchestration failures."""
+
+
+class ZeroDeliveryError(SweepError):
+    """Raised when a sweep point completes without delivering any message.
+
+    A point with no latency observations would otherwise silently propagate
+    as a NaN mean into figure series; the orchestrator surfaces it as an
+    explicit error instead."""
+
+
 class VerificationError(ReproError):
     """Raised by the verification utilities when a claimed property
     (deadlock freedom, reachability) is found to be violated."""

@@ -11,6 +11,11 @@ discussions.
   baseline (§4's six-fold-difference claim).
 * :mod:`~repro.experiments.ablations` — buffer depth, selection function,
   root selection and destination partitioning.
+
+Every driver routes through the :mod:`repro.sweeps` orchestrator: each data
+point is a :class:`~repro.sweeps.spec.SweepPointSpec`, and the drivers
+accept ``store=`` / ``workers=`` / ``resume=`` to cache, parallelise and
+resume sweeps (see ``docs/sweeps.md``).
 """
 
 from .ablations import (
@@ -21,13 +26,19 @@ from .ablations import (
     run_selection_ablation,
 )
 from .common import ExperimentScale, SCALES, build_network_and_routing, current_scale, paper_config
-from .figure2 import Figure2Config, default_destination_counts, run_figure2
+from .figure2 import (
+    Figure2Config,
+    default_destination_counts,
+    figure2_specs,
+    run_figure2,
+)
+from .figure3 import Figure3Config, figure3_specs, run_figure3
 from .parallel import SweepPointSpec, evaluate_point, parallel_figure2_points, run_points
-from .figure3 import Figure3Config, run_figure3
 from .software_comparison import (
     SoftwareComparisonConfig,
     run_software_comparison,
     run_software_multicast_once,
+    software_comparison_specs,
 )
 
 __all__ = [
@@ -38,10 +49,13 @@ __all__ = [
     "build_network_and_routing",
     "Figure2Config",
     "default_destination_counts",
+    "figure2_specs",
     "run_figure2",
     "Figure3Config",
+    "figure3_specs",
     "run_figure3",
     "SoftwareComparisonConfig",
+    "software_comparison_specs",
     "run_software_comparison",
     "run_software_multicast_once",
     "AblationConfig",

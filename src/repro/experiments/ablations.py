@@ -5,27 +5,21 @@ spanning-tree root, the input-buffer depth, and the destination-partitioning
 extension.  These drivers quantify each knob's effect with the same
 single-multicast workload as Figure 2, so the ablation results are directly
 comparable to the headline figure.
+
+Each variant is one sweep point (the knobs map onto
+:class:`~repro.sweeps.spec.SweepPointSpec` fields: ``sim_overrides`` for
+buffer depths, ``selection``/``selection_seed`` and ``root_strategy`` for
+the routing knobs, the ``"partitioned-multicast"`` workload kind for §5's
+extension), so the ablations cache, resume and parallelise through
+:func:`repro.sweeps.run_sweep` like every other experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.partition import partition_destinations
-from ..core.selection import make_selection
-from ..core.spam import SpamRouting
-from ..simulator.engine import WormholeSimulator
-from ..topology.irregular import lattice_irregular_network
-from ..traffic.patterns import uniform_destinations, uniform_source
-from ..traffic.workload import single_multicast_workload
-from .common import (
-    ExperimentScale,
-    current_scale,
-    paper_config,
-    run_workload_collect_latencies,
-)
+from ..sweeps import ResultStore, SweepPointSpec, run_sweep
+from .common import ExperimentScale, current_scale
 
 __all__ = [
     "AblationConfig",
@@ -50,26 +44,46 @@ class AblationConfig:
         return self.scale or current_scale()
 
 
-def _network(config: AblationConfig):
-    return lattice_irregular_network(config.network_size, seed=config.topology_seed)
-
-
-def _single_multicast_latency(network, routing, config: AblationConfig, sim_config) -> float:
+def _ablation_spec(
+    config: AblationConfig,
+    label: str,
+    x: float,
+    workload_kind: str = "single-multicast",
+    workload_params: tuple[tuple[str, object], ...] | None = None,
+    sim_overrides: tuple[tuple[str, object], ...] = (),
+    root_strategy: str = "center",
+    selection: str = "distance-to-lca",
+    selection_seed: int | None = None,
+) -> SweepPointSpec:
     scale = config.resolved_scale()
-    workload = single_multicast_workload(
-        network,
-        num_destinations=min(config.num_destinations, network.num_processors - 1),
-        samples=scale.samples_per_point,
-        seed=config.workload_seed,
+    count = min(config.num_destinations, config.network_size - 1)
+    if workload_params is None:
+        workload_params = (
+            ("num_destinations", count),
+            ("samples", scale.samples_per_point),
+        )
+    return SweepPointSpec(
+        workload_kind=workload_kind,
+        network_size=config.network_size,
+        topology_seed=config.topology_seed,
+        message_length_flits=scale.message_length_flits,
+        workload_params=workload_params,
+        workload_seed=config.workload_seed,
+        root_strategy=root_strategy,
+        selection=selection,
+        selection_seed=selection_seed,
+        sim_overrides=sim_overrides,
+        label=label,
+        x=x,
     )
-    latencies = run_workload_collect_latencies(
-        network, routing, workload, sim_config, from_creation=False
-    )
-    return sum(latencies) / len(latencies)
 
 
 def run_buffer_depth_ablation(
-    depths: tuple[int, ...] = (1, 2, 4, 8), config: AblationConfig | None = None
+    depths: tuple[int, ...] = (1, 2, 4, 8),
+    config: AblationConfig | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
 ) -> list[dict]:
     """Effect of input/output buffer depth on single-multicast latency.
 
@@ -78,62 +92,88 @@ def run_buffer_depth_ablation(
     one flit of buffering.
     """
     config = config or AblationConfig()
-    network = _network(config)
-    routing = SpamRouting.build(network)
-    rows = []
-    for depth in depths:
-        sim_config = paper_config(
-            config.resolved_scale(), input_buffer_depth=depth, output_buffer_depth=depth
+    specs = [
+        _ablation_spec(
+            config,
+            label=f"buffer-depth-{depth}",
+            x=depth,
+            sim_overrides=(
+                ("input_buffer_depth", depth),
+                ("output_buffer_depth", depth),
+            ),
         )
-        latency = _single_multicast_latency(network, routing, config, sim_config)
-        rows.append({"buffer_depth": depth, "latency_us": latency})
-    return rows
+        for depth in depths
+    ]
+    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    return [
+        {"buffer_depth": depth, "latency_us": result.mean_us}
+        for depth, result in zip(depths, outcome.results)
+    ]
 
 
 def run_selection_ablation(
     strategies: tuple[str, ...] = ("distance-to-lca", "first-allowed", "random"),
     config: AblationConfig | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
 ) -> list[dict]:
     """Effect of the selection function on single-multicast latency."""
     config = config or AblationConfig()
-    network = _network(config)
-    sim_config = paper_config(config.resolved_scale())
-    rows = []
-    for strategy in strategies:
-        selection = make_selection(strategy, network, seed=config.workload_seed)
-        routing = SpamRouting.build(network, selection=selection)
-        latency = _single_multicast_latency(network, routing, config, sim_config)
-        rows.append({"selection": strategy, "latency_us": latency})
-    return rows
+    specs = [
+        _ablation_spec(
+            config,
+            label=f"selection-{strategy}",
+            x=index,
+            selection=strategy,
+            selection_seed=config.workload_seed,
+        )
+        for index, strategy in enumerate(strategies)
+    ]
+    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    return [
+        {"selection": strategy, "latency_us": result.mean_us}
+        for strategy, result in zip(strategies, outcome.results)
+    ]
 
 
 def run_root_ablation(
     strategies: tuple[str, ...] = ("center", "max-degree", "first"),
     config: AblationConfig | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
 ) -> list[dict]:
     """Effect of the spanning-tree root choice on single-multicast latency."""
     config = config or AblationConfig()
-    network = _network(config)
-    sim_config = paper_config(config.resolved_scale())
-    rows = []
-    for strategy in strategies:
-        routing = SpamRouting.build(network, root_strategy=strategy)
-        latency = _single_multicast_latency(network, routing, config, sim_config)
-        rows.append(
-            {
-                "root_strategy": strategy,
-                "root": routing.tree.root,
-                "tree_height": routing.tree.height(),
-                "latency_us": latency,
-            }
+    specs = [
+        _ablation_spec(
+            config,
+            label=f"root-{strategy}",
+            x=index,
+            root_strategy=strategy,
         )
-    return rows
+        for index, strategy in enumerate(strategies)
+    ]
+    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    return [
+        {
+            "root_strategy": strategy,
+            "root": result.metric("tree_root"),
+            "tree_height": result.metric("tree_height"),
+            "latency_us": result.mean_us,
+        }
+        for strategy, result in zip(strategies, outcome.results)
+    ]
 
 
 def run_partition_ablation(
     group_counts: tuple[int, ...] = (1, 2, 4),
     strategy: str = "contiguous",
     config: AblationConfig | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
 ) -> list[dict]:
     """The paper's §5 destination-partitioning extension.
 
@@ -145,31 +185,28 @@ def run_partition_ablation(
     Splitting trades extra startups for less root contention.
     """
     config = config or AblationConfig()
-    network = _network(config)
-    routing = SpamRouting.build(network)
-    sim_config = paper_config(config.resolved_scale())
-    rng = np.random.default_rng(config.workload_seed)
-    source = uniform_source(network, rng)
-    destinations = uniform_destinations(
-        network, source, min(config.num_destinations, network.num_processors - 1), rng
-    )
-
-    rows = []
-    for groups in group_counts:
-        partitions = partition_destinations(routing.tree, destinations, groups, strategy)
-        simulator = WormholeSimulator(network, routing, sim_config)
-        messages = [
-            simulator.submit_message(source, part, at_ns=0, metadata={"group": index})
-            for index, part in enumerate(partitions)
-        ]
-        simulator.run()
-        completion = max(message.completed_ns for message in messages)
-        rows.append(
-            {
-                "groups": len(partitions),
-                "strategy": strategy,
-                "latency_us": completion / 1000.0,
-                "worms": len(partitions),
-            }
+    count = min(config.num_destinations, config.network_size - 1)
+    specs = [
+        _ablation_spec(
+            config,
+            label=f"partition-{groups}",
+            x=groups,
+            workload_kind="partitioned-multicast",
+            workload_params=(
+                ("num_destinations", count),
+                ("groups", groups),
+                ("strategy", strategy),
+            ),
         )
-    return rows
+        for groups in group_counts
+    ]
+    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    return [
+        {
+            "groups": result.metric("groups"),
+            "strategy": strategy,
+            "latency_us": result.mean_us,
+            "worms": result.metric("worms"),
+        }
+        for result in outcome.results
+    ]

@@ -14,6 +14,13 @@ reads environment variables to scale back up:
     Override the message length in flits (paper: 128).
 ``REPRO_SAMPLES``
     Override the number of samples per data point.
+``REPRO_SWEEP_WORKERS``
+    Worker-process count picked up by the sweep orchestrator the drivers
+    route through (see :mod:`repro.sweeps`); unset means sequential.
+
+``build_network_and_routing`` lives in :mod:`repro.sweeps.spec` (worker
+processes need it without importing the experiment layer) and is re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
@@ -21,11 +28,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from ..core.selection import make_selection
-from ..core.spam import SpamRouting
 from ..simulator.config import SimulationConfig
 from ..simulator.engine import WormholeSimulator
-from ..topology.irregular import lattice_irregular_network
+from ..sweeps.spec import build_network_and_routing
 from ..topology.network import Network
 from ..traffic.workload import Workload
 
@@ -93,19 +98,6 @@ def paper_config(scale: ExperimentScale, **overrides) -> SimulationConfig:
     if overrides:
         config = config.with_overrides(**overrides)
     return config
-
-
-def build_network_and_routing(
-    num_switches: int,
-    seed: int = 0,
-    root_strategy: str = "center",
-    selection_name: str = "distance-to-lca",
-) -> tuple[Network, SpamRouting]:
-    """Build one paper-style irregular network and SPAM routing on it."""
-    network = lattice_irregular_network(num_switches, seed=seed)
-    selection = make_selection(selection_name, network, seed=seed)
-    routing = SpamRouting.build(network, root_strategy=root_strategy, selection=selection)
-    return network, routing
 
 
 def run_workload_collect_latencies(

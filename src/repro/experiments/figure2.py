@@ -12,23 +12,30 @@ roughly 11 and 14 µs.
 size.  The latency reported is the paper's metric — elapsed time from
 message startup at the source until the last flit reaches the last
 destination.
+
+Execution routes through :mod:`repro.sweeps`: :func:`figure2_specs` turns
+the configuration into one :class:`~repro.sweeps.spec.SweepPointSpec` per
+data point, the orchestrator evaluates them (optionally in parallel and
+against a content-addressed result store), and
+:func:`~repro.analysis.sweeps.sweep_result_from_points` reassembles the
+figure from the point results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.sweeps import SweepResult
-from ..traffic.workload import single_multicast_workload
-from .common import (
-    ExperimentScale,
-    build_network_and_routing,
-    current_scale,
-    paper_config,
-    run_workload_collect_latencies,
-)
+from ..analysis.sweeps import SweepResult, sweep_result_from_points
+from ..sweeps import ResultStore, SweepPointSpec, run_sweep
+from .common import ExperimentScale, current_scale
 
-__all__ = ["Figure2Config", "default_destination_counts", "run_figure2"]
+__all__ = [
+    "Figure2Config",
+    "default_destination_counts",
+    "figure2_specs",
+    "figure2_result_from_points",
+    "run_figure2",
+]
 
 
 def default_destination_counts(num_switches: int, points: int = 8) -> list[int]:
@@ -68,36 +75,60 @@ class Figure2Config:
         return default_destination_counts(num_switches)
 
 
-def run_figure2(config: Figure2Config | None = None) -> SweepResult:
-    """Regenerate Figure 2 and return its sweep data."""
+def figure2_specs(config: Figure2Config | None = None) -> list[SweepPointSpec]:
+    """One sweep spec per Figure-2 data point, series by series."""
     config = config or Figure2Config()
     scale = config.resolved_scale()
-    result = SweepResult(
+    specs: list[SweepPointSpec] = []
+    for size in config.network_sizes:
+        for count in config.counts_for(size):
+            specs.append(
+                SweepPointSpec(
+                    workload_kind="single-multicast",
+                    network_size=size,
+                    topology_seed=config.topology_seed,
+                    message_length_flits=scale.message_length_flits,
+                    workload_params=(
+                        ("num_destinations", count),
+                        ("samples", scale.samples_per_point),
+                    ),
+                    workload_seed=config.workload_seed + count,
+                    root_strategy=config.root_strategy,
+                    label=f"{size}-switch network",
+                    x=count,
+                )
+            )
+    return specs
+
+
+def figure2_result_from_points(config: Figure2Config, points) -> SweepResult:
+    """Reassemble the Figure-2 :class:`SweepResult` from point results."""
+    scale = config.resolved_scale()
+    return sweep_result_from_points(
         name="figure2-latency-vs-destinations",
         x_label="destinations",
         y_label="latency_us",
+        points=points,
         parameters={
             "scale": scale.name,
             "message_length_flits": scale.message_length_flits,
             "samples_per_point": scale.samples_per_point,
             "startup_latency_us": 10.0,
         },
+        series_metadata={
+            f"{size}-switch network": {"num_switches": size}
+            for size in config.network_sizes
+        },
     )
-    sim_config = paper_config(scale)
-    for size in config.network_sizes:
-        network, routing = build_network_and_routing(
-            size, seed=config.topology_seed, root_strategy=config.root_strategy
-        )
-        series = result.add_series(f"{size}-switch network", num_switches=size)
-        for count in config.counts_for(size):
-            workload = single_multicast_workload(
-                network,
-                num_destinations=count,
-                samples=scale.samples_per_point,
-                seed=config.workload_seed + count,
-            )
-            latencies = run_workload_collect_latencies(
-                network, routing, workload, sim_config, from_creation=False
-            )
-            series.add(count, latencies)
-    return result
+
+
+def run_figure2(
+    config: Figure2Config | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+) -> SweepResult:
+    """Regenerate Figure 2 and return its sweep data."""
+    config = config or Figure2Config()
+    outcome = run_sweep(figure2_specs(config), store=store, workers=workers, resume=resume)
+    return figure2_result_from_points(config, outcome.results)

@@ -12,24 +12,22 @@ curves lie nearly on top of each other, rising from the no-load latency
 :class:`~repro.analysis.sweeps.SweepResult` with one series per multicast
 degree.  Latency is measured from message creation (so source queueing under
 load is included, which is what produces the saturation behaviour).
+
+Execution routes through :mod:`repro.sweeps` (see
+:func:`~repro.experiments.figure2.run_figure2` for the pattern):
+:func:`figure3_specs` builds one spec per (degree, rate) point and the
+orchestrator handles caching, resumption and process-level parallelism.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis.sweeps import SweepResult
-from ..traffic.arrivals import make_arrival_process
-from ..traffic.workload import mixed_traffic_workload
-from .common import (
-    ExperimentScale,
-    build_network_and_routing,
-    current_scale,
-    paper_config,
-    run_workload_collect_latencies,
-)
+from ..analysis.sweeps import SweepResult, sweep_result_from_points
+from ..sweeps import ResultStore, SweepPointSpec, run_sweep
+from .common import ExperimentScale, current_scale
 
-__all__ = ["Figure3Config", "run_figure3"]
+__all__ = ["Figure3Config", "figure3_specs", "figure3_result_from_points", "run_figure3"]
 
 
 @dataclass
@@ -56,18 +54,43 @@ class Figure3Config:
         return self.scale or current_scale()
 
 
-def run_figure3(config: Figure3Config | None = None) -> SweepResult:
-    """Regenerate Figure 3 and return its sweep data."""
+def figure3_specs(config: Figure3Config | None = None) -> list[SweepPointSpec]:
+    """One sweep spec per Figure-3 data point, one series per degree."""
     config = config or Figure3Config()
     scale = config.resolved_scale()
-    network, routing = build_network_and_routing(
-        config.network_size, seed=config.topology_seed, root_strategy=config.root_strategy
-    )
-    sim_config = paper_config(scale)
-    result = SweepResult(
+    specs: list[SweepPointSpec] = []
+    for degree in config.multicast_degrees:
+        for rate in config.arrival_rates_per_us:
+            specs.append(
+                SweepPointSpec(
+                    workload_kind="mixed",
+                    network_size=config.network_size,
+                    topology_seed=config.topology_seed,
+                    message_length_flits=scale.message_length_flits,
+                    workload_params=(
+                        ("rate_per_us", rate),
+                        ("multicast_destinations", degree),
+                        ("num_messages", scale.messages_per_rate_point),
+                        ("multicast_fraction", config.multicast_fraction),
+                        ("arrival", config.arrival),
+                    ),
+                    workload_seed=config.workload_seed + degree,
+                    root_strategy=config.root_strategy,
+                    label=f"{degree} destinations",
+                    x=rate,
+                )
+            )
+    return specs
+
+
+def figure3_result_from_points(config: Figure3Config, points) -> SweepResult:
+    """Reassemble the Figure-3 :class:`SweepResult` from point results."""
+    scale = config.resolved_scale()
+    return sweep_result_from_points(
         name="figure3-latency-vs-arrival-rate",
         x_label="arrival_rate_per_us",
         y_label="latency_us",
+        points=points,
         parameters={
             "scale": scale.name,
             "network_size": config.network_size,
@@ -76,21 +99,20 @@ def run_figure3(config: Figure3Config | None = None) -> SweepResult:
             "multicast_fraction": config.multicast_fraction,
             "arrival": config.arrival,
         },
+        series_metadata={
+            f"{degree} destinations": {"multicast_degree": degree}
+            for degree in config.multicast_degrees
+        },
     )
-    for degree in config.multicast_degrees:
-        series = result.add_series(f"{degree} destinations", multicast_degree=degree)
-        for rate in config.arrival_rates_per_us:
-            workload = mixed_traffic_workload(
-                network,
-                rate_per_us=rate,
-                multicast_destinations=degree,
-                num_messages=scale.messages_per_rate_point,
-                multicast_fraction=config.multicast_fraction,
-                seed=config.workload_seed + degree,
-                arrival_process=make_arrival_process(config.arrival, rate),
-            )
-            latencies = run_workload_collect_latencies(
-                network, routing, workload, sim_config, from_creation=True
-            )
-            series.add(rate, latencies)
-    return result
+
+
+def run_figure3(
+    config: Figure3Config | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+) -> SweepResult:
+    """Regenerate Figure 3 and return its sweep data."""
+    config = config or Figure3Config()
+    outcome = run_sweep(figure3_specs(config), store=store, workers=workers, resume=resume)
+    return figure3_result_from_points(config, outcome.results)

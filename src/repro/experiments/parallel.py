@@ -1,120 +1,32 @@
-"""Parallel execution of experiment sweeps.
+"""Compatibility layer over :mod:`repro.sweeps` (the historical location of
+the parallel sweep runner).
 
-Every data point of Figures 2 and 3 is an independent simulation, so sweeps
-are embarrassingly parallel.  This module provides a process-pool runner that
-evaluates sweep points concurrently; it exists because regenerating the
-paper-scale configurations with a pure-Python flit-level simulator is CPU
-bound, and the natural HPC answer is to spread points over cores rather than
-to micro-optimise the inner loop further (profile first — the event loop is
-already the measured hot path).
+The spec/evaluate/pool machinery that used to live here is now the
+`repro.sweeps` subsystem — a generalized spec layer, a content-addressed
+result store and a resumable scheduler shared by every experiment.  This
+module keeps the original names importable:
 
-Worker processes rebuild the network and routing state from *parameters*
-(rather than receiving live objects), so everything crossing the process
-boundary is a small picklable description.
+* :class:`~repro.sweeps.spec.SweepPointSpec` and
+  :class:`~repro.sweeps.spec.SweepPointResult` are re-exported;
+* :func:`evaluate_point` is :func:`repro.sweeps.evaluate_spec`;
+* :func:`run_points` wraps :func:`repro.sweeps.run_sweep` (no store);
+* :func:`parallel_figure2_points` builds Figure-2 style spec lists.
+
+New code should import from :mod:`repro.sweeps` directly.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import os
 from typing import Sequence
 
-from ..simulator.config import SimulationConfig
-from ..simulator.engine import WormholeSimulator
-from ..traffic.workload import mixed_traffic_workload, single_multicast_workload
-from .common import build_network_and_routing
+from ..sweeps import SweepPointResult, SweepPointSpec, evaluate_spec, run_sweep
 
-__all__ = ["SweepPointSpec", "evaluate_point", "run_points", "parallel_figure2_points"]
+__all__ = ["SweepPointSpec", "SweepPointResult", "evaluate_point", "run_points",
+           "parallel_figure2_points"]
 
-
-@dataclass(frozen=True)
-class SweepPointSpec:
-    """A self-contained, picklable description of one simulation point.
-
-    Attributes
-    ----------
-    workload_kind:
-        ``"single-multicast"`` (Figure 2 style) or ``"mixed"`` (Figure 3
-        style).
-    network_size / topology_seed / root_strategy / selection:
-        Parameters handed to
-        :func:`repro.experiments.common.build_network_and_routing`.
-    message_length_flits:
-        Worm length used by the simulation.
-    workload_params:
-        Keyword arguments of the workload builder (destination count and
-        samples for single multicasts; rate, degree, message count for mixed
-        traffic).
-    workload_seed:
-        Seed of the workload builder.
-    label / x:
-        Free-form identification of the point, echoed back in the result so
-        callers can reassemble series without relying on ordering.
-    """
-
-    workload_kind: str
-    network_size: int
-    topology_seed: int
-    message_length_flits: int
-    workload_params: tuple[tuple[str, object], ...]
-    workload_seed: int
-    root_strategy: str = "center"
-    selection: str = "distance-to-lca"
-    label: str = ""
-    x: float = 0.0
-
-
-@dataclass(frozen=True)
-class SweepPointResult:
-    """Latencies measured for one :class:`SweepPointSpec`."""
-
-    spec: SweepPointSpec
-    latencies_us: tuple[float, ...]
-
-    @property
-    def mean_us(self) -> float:
-        """Mean latency of the point."""
-        return sum(self.latencies_us) / len(self.latencies_us) if self.latencies_us else float("nan")
-
-
-def evaluate_point(spec: SweepPointSpec) -> SweepPointResult:
-    """Run one sweep point to completion (executed inside worker processes)."""
-    network, routing = build_network_and_routing(
-        spec.network_size,
-        seed=spec.topology_seed,
-        root_strategy=spec.root_strategy,
-        selection_name=spec.selection,
-    )
-    params = dict(spec.workload_params)
-    if spec.workload_kind == "single-multicast":
-        workload = single_multicast_workload(
-            network,
-            num_destinations=int(params["num_destinations"]),
-            samples=int(params["samples"]),
-            seed=spec.workload_seed,
-        )
-        from_creation = False
-    elif spec.workload_kind == "mixed":
-        workload = mixed_traffic_workload(
-            network,
-            rate_per_us=float(params["rate_per_us"]),
-            multicast_destinations=int(params["multicast_destinations"]),
-            num_messages=int(params["num_messages"]),
-            multicast_fraction=float(params.get("multicast_fraction", 0.1)),
-            seed=spec.workload_seed,
-        )
-        from_creation = True
-    else:
-        raise ValueError(f"unknown workload kind {spec.workload_kind!r}")
-
-    config = SimulationConfig(message_length_flits=spec.message_length_flits)
-    simulator = WormholeSimulator(network, routing, config)
-    workload.submit_to(simulator)
-    stats = simulator.run()
-    return SweepPointResult(
-        spec=spec,
-        latencies_us=tuple(stats.latencies_us(from_creation=from_creation)),
-    )
+#: Historical name for the single-point evaluator.
+evaluate_point = evaluate_spec
 
 
 def run_points(
@@ -124,19 +36,16 @@ def run_points(
 ) -> list[SweepPointResult]:
     """Evaluate sweep points, optionally across a process pool.
 
-    With ``parallel=False`` (or a single spec) the points run sequentially in
-    the current process, which is what the test-suite uses; with
-    ``parallel=True`` a :class:`~concurrent.futures.ProcessPoolExecutor`
-    spreads them over ``max_workers`` processes.
+    Preserved signature of the historical runner; equivalent to
+    ``run_sweep(specs, workers=...)`` without a result store.
     """
-    specs = list(specs)
-    if not parallel or len(specs) <= 1:
-        return [evaluate_point(spec) for spec in specs]
-    results: list[SweepPointResult] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for result in pool.map(evaluate_point, specs):
-            results.append(result)
-    return results
+    if not parallel:
+        workers = 1
+    elif max_workers is None:
+        workers = os.cpu_count() or 1
+    else:
+        workers = max_workers
+    return run_sweep(list(specs), store=None, workers=workers).results
 
 
 def parallel_figure2_points(

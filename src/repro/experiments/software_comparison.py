@@ -12,29 +12,26 @@ This driver reproduces that comparison and strengthens it by also *running*
 the software scheme: a binomial-tree unicast-based multicast executed on the
 same flit-level simulator on top of classic up*/down* unicast routing, so the
 measured (not just bounded) software latency is reported as well.
+
+Each destination count is one ``"software-comparison"`` sweep point
+(:mod:`repro.sweeps.spec` hosts the evaluator, including the executable
+binomial baseline), so the comparison caches, resumes and parallelises like
+every other experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from ..sweeps import ResultStore, SweepPointSpec, run_software_multicast_once, run_sweep
+from .common import ExperimentScale, current_scale
 
-from ..analysis.bounds import compare_against_bound, software_multicast_lower_bound_us
-from ..routing.unicast_multicast import UnicastMulticastScheduler
-from ..routing.updown import UpDownRouting
-from ..simulator.engine import WormholeSimulator
-from ..traffic.patterns import uniform_destinations, uniform_source
-from ..traffic.workload import single_multicast_workload
-from .common import (
-    ExperimentScale,
-    build_network_and_routing,
-    current_scale,
-    paper_config,
-    run_workload_collect_latencies,
-)
-
-__all__ = ["SoftwareComparisonConfig", "run_software_comparison", "run_software_multicast_once"]
+__all__ = [
+    "SoftwareComparisonConfig",
+    "software_comparison_specs",
+    "run_software_comparison",
+    "run_software_multicast_once",
+]
 
 
 @dataclass
@@ -54,50 +51,40 @@ class SoftwareComparisonConfig:
         return self.scale or current_scale()
 
 
-def run_software_multicast_once(
-    network,
-    updown: UpDownRouting,
-    source: int,
-    destinations: list[int],
-    sim_config,
-) -> float:
-    """Execute one binomial-tree software multicast and return its latency (µs).
-
-    Every forwarding unicast pays the full startup latency at its sender,
-    exactly as the software scheme would; the reported latency is the time
-    from the source's first startup until the last destination has received
-    the payload.
-    """
-    simulator = WormholeSimulator(network, updown, sim_config)
-    scheduler = UnicastMulticastScheduler(source=source, destinations=tuple(destinations))
-    last_delivery_ns = 0
-
-    def on_delivery(message, destination, time_ns):
-        nonlocal last_delivery_ns
-        if message.metadata.get("software_multicast") is not True:
-            return
-        last_delivery_ns = max(last_delivery_ns, time_ns)
-        for step in scheduler.on_delivery(destination):
-            simulator.submit_message(
-                step.sender,
-                [step.recipient],
-                metadata={"software_multicast": True, "phase": step.phase},
+def software_comparison_specs(
+    config: SoftwareComparisonConfig | None = None,
+) -> list[SweepPointSpec]:
+    """One sweep spec per destination count of the §4 comparison."""
+    config = config or SoftwareComparisonConfig()
+    scale = config.resolved_scale()
+    specs: list[SweepPointSpec] = []
+    for count in config.destination_counts:
+        count = min(count, config.network_size - 1)
+        specs.append(
+            SweepPointSpec(
+                workload_kind="software-comparison",
+                network_size=config.network_size,
+                topology_seed=config.topology_seed,
+                message_length_flits=scale.message_length_flits,
+                workload_params=(
+                    ("num_destinations", count),
+                    ("samples", max(1, scale.samples_per_point // 2)),
+                    ("run_software_baseline", config.run_software_baseline),
+                ),
+                workload_seed=config.workload_seed + count,
+                label="software-comparison",
+                x=count,
             )
-
-    simulator.delivery_callbacks.append(on_delivery)
-    for step in scheduler.initial_sends():
-        simulator.submit_message(
-            step.sender,
-            [step.recipient],
-            metadata={"software_multicast": True, "phase": step.phase},
         )
-    simulator.run()
-    if not scheduler.finished:
-        raise RuntimeError("software multicast did not reach every destination")
-    return last_delivery_ns / 1000.0
+    return specs
 
 
-def run_software_comparison(config: SoftwareComparisonConfig | None = None) -> list[dict]:
+def run_software_comparison(
+    config: SoftwareComparisonConfig | None = None,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+) -> list[dict]:
     """Run the comparison and return one result row per destination count.
 
     Each row contains the measured SPAM latency, the software lower bound,
@@ -105,40 +92,7 @@ def run_software_comparison(config: SoftwareComparisonConfig | None = None) -> l
     speedup factors.
     """
     config = config or SoftwareComparisonConfig()
-    scale = config.resolved_scale()
-    sim_config = paper_config(scale)
-    network, spam = build_network_and_routing(config.network_size, seed=config.topology_seed)
-    updown = UpDownRouting(network, spam.tree, spam.selection)
-    rng = np.random.default_rng(config.workload_seed)
-
-    rows: list[dict] = []
-    for count in config.destination_counts:
-        count = min(count, network.num_processors - 1)
-        # Measured SPAM latency (single multicast, idle network).
-        workload = single_multicast_workload(
-            network,
-            num_destinations=count,
-            samples=max(1, scale.samples_per_point // 2),
-            seed=config.workload_seed + count,
-        )
-        spam_latencies = run_workload_collect_latencies(
-            network, spam, workload, sim_config, from_creation=False
-        )
-        spam_latency = sum(spam_latencies) / len(spam_latencies)
-        comparison = compare_against_bound(
-            count,
-            spam_latency,
-            startup_latency_us=sim_config.startup_latency_ns / 1000.0,
-        )
-        row = comparison.as_dict()
-
-        if config.run_software_baseline:
-            source = uniform_source(network, rng)
-            destinations = uniform_destinations(network, source, count, rng)
-            measured_software = run_software_multicast_once(
-                network, updown, source, destinations, sim_config
-            )
-            row["software_measured_us"] = measured_software
-            row["measured_speedup"] = measured_software / spam_latency
-        rows.append(row)
-    return rows
+    outcome = run_sweep(
+        software_comparison_specs(config), store=store, workers=workers, resume=resume
+    )
+    return [result.metrics_dict() for result in outcome.results]

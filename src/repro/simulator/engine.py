@@ -192,6 +192,10 @@ class WormholeSimulator:
         self.coalesce_snapshots = 0
         self.coalesce_batches = 0
         self.coalesce_verify_failures = 0
+        #: Probes rejected in O(1) because the EventQueue-maintained earliest
+        #: generic deadline sat too close for a worthwhile batch — the cheap
+        #: exit for churn phases, taken before any heap scan or snapshot.
+        self.coalesce_generic_bails = 0
 
     # ------------------------------------------------------------------
     # Time and scheduling helpers
@@ -286,14 +290,17 @@ class WormholeSimulator:
         # are measurable.  ``heap`` aliases the live heap list (batch retimes
         # are in-place), so pushes from callbacks remain visible.
         heap = events._heap
+        generic_times = events._generic_times
         while heap:
             t0 = heap[0][0]
             if until_ns is not None and t0 > until_ns:
                 break
             # Probe whenever the earliest event is a flit transfer; generic
             # events pending further out (queued submits, a later startup)
-            # only cap the batch length — _coalesce_tick's t_other scan
-            # ends every batch strictly before the first of them fires.
+            # only cap the batch length — _coalesce_tick bails in O(1) on
+            # the queue-maintained earliest generic deadline when the cap
+            # would be too small, and otherwise ends every batch strictly
+            # before the first of them fires.
             if fast and heap[0][2] and t0 >= self._coalesce_gate_ns:
                 if self._coalesce_tick(t0, until_ns):
                     continue
@@ -303,6 +310,7 @@ class WormholeSimulator:
                 events._transfer_pending -= 1
                 complete_transfer(entry[3])
             else:
+                heappop(generic_times)
                 entry[3]()
         if until_ns is not None:
             # A bounded run owns the whole window: land exactly on the
@@ -343,10 +351,21 @@ class WormholeSimulator:
         # Probe each window at most once (re-opened below on a verify failure).
         self._coalesce_gate_ns = t0 + latency
         window_end = t0 + latency
+        # -- O(1) bail: the queue maintains the earliest pending generic
+        # deadline.  Every batch must end strictly before it, so even in the
+        # best case (all transfers at t0) the batch length is bounded by
+        # (t_other - 1 - t0) // latency; when that optimistic bound is
+        # already below the worthwhile minimum — the dominant rejection in
+        # churn phases, where submits/decisions/acquisitions queue close by —
+        # the probe exits before paying for any heap scan or snapshot.
+        generic_times = events._generic_times
+        t_other: int | None = generic_times[0] if generic_times else None
+        if t_other is not None and (t_other - 1 - t0) // latency < _MIN_BATCH_TICKS + 1:
+            self.coalesce_generic_bails += 1
+            return False
         # -- Cheap scan (unsorted): every pending transfer must complete
         # within the period window (at exactly t0 unless phase-staggered
-        # windows are allowed), any generic event must be far enough away for
-        # a worthwhile batch, every wire flit must be a body flit (or a
+        # windows are allowed), every wire flit must be a body flit (or a
         # bubble, when bubble-periodic windows are allowed), and the batch
         # can extend at most until the first body flit would become a tail.
         # This rejects head crawls and worm-drain phases before paying for a
@@ -355,28 +374,26 @@ class WormholeSimulator:
         allow_stagger = self._coalesce_stagger
         allow_bubbles = self._coalesce_bubbles
         d_max = t0
-        t_other: int | None = None
         flit_cap: int | None = None
         for time_ns, _seq, kind, payload in events._heap:
-            if kind:
-                if time_ns != t0:
-                    if not allow_stagger or time_ns >= window_end:
-                        return False
-                    if time_ns > d_max:
-                        d_max = time_ns
-                out = payload.out_buffer
-                if not out._slots:
+            if not kind:
+                continue
+            if time_ns != t0:
+                if not allow_stagger or time_ns >= window_end:
                     return False
-                flit = out._slots[0]
-                flit_kind = flit.kind
-                if flit_kind is FlitKind.BODY:
-                    limit = messages[flit.message_id].length_flits - 2 - flit.seq
-                    if flit_cap is None or limit < flit_cap:
-                        flit_cap = limit
-                elif flit_kind is not FlitKind.BUBBLE or not allow_bubbles:
-                    return False
-            elif t_other is None or time_ns < t_other:
-                t_other = time_ns
+                if time_ns > d_max:
+                    d_max = time_ns
+            out = payload.out_buffer
+            if not out._slots:
+                return False
+            flit = out._slots[0]
+            flit_kind = flit.kind
+            if flit_kind is FlitKind.BODY:
+                limit = messages[flit.message_id].length_flits - 2 - flit.seq
+                if flit_cap is None or limit < flit_cap:
+                    flit_cap = limit
+            elif flit_kind is not FlitKind.BUBBLE or not allow_bubbles:
+                return False
         cap = flit_cap
         if t_other is not None:
             # Every replayed window must end strictly before the first

@@ -17,10 +17,15 @@ never allocates a closure per flit transfer:
   ``functools.partial`` is built on the hot path.
 
 The queue additionally tracks how many pending entries are transfer events
-(``transfer_pending``).  When the *earliest* pending entry is a transfer the
-simulator may be in a steady-state streaming phase; the engine's fast path
-(``WormholeSimulator._coalesce_tick``) probes that case and uses the tag in
-each entry to bound its batches strictly before the next generic event.
+(``transfer_pending``) and maintains the *earliest generic deadline* — a
+min-heap of the pending generic entries' timestamps (``next_generic_time``).
+When the *earliest* pending entry is a transfer the simulator may be in a
+steady-state streaming phase; the engine's fast path
+(``WormholeSimulator._coalesce_tick``) probes that case, consults the
+earliest generic deadline in O(1) to bail out of windows whose batches a
+nearby generic event would cut below the worthwhile minimum (the common case
+during churn phases), and uses the tag in each entry to bound surviving
+batches strictly before the next generic event.
 After a verified batch the engine retimes the surviving transfer entries in
 bulk with :meth:`EventQueue.shift_transfers` (synchronized windows are just
 the single-deadline special case); the coalescing contract this upholds is
@@ -44,12 +49,18 @@ _TRANSFER = 1
 class EventQueue:
     """A binary-heap priority queue of ``(time, seq, kind, payload)`` events."""
 
-    __slots__ = ("_heap", "_seq", "_transfer_pending", "now")
+    __slots__ = ("_heap", "_seq", "_transfer_pending", "_generic_times", "now")
 
     def __init__(self, start_ns: int = 0) -> None:
         self._heap: list[tuple[int, int, int, object]] = []
         self._seq = 0
         self._transfer_pending = 0
+        # Min-heap of pending generic entries' timestamps.  Because the main
+        # heap pops in global (time, seq) order, generic entries leave in
+        # nondecreasing-time order too, so popping this heap alongside keeps
+        # it exact — giving the engine's fast path the earliest generic
+        # deadline in O(1) without scanning the heap.
+        self._generic_times: list[int] = []
         #: Current simulation time (time of the most recently popped event).
         self.now = start_ns
 
@@ -64,6 +75,7 @@ class EventQueue:
                 f"cannot schedule an event at {time_ns} ns, current time is {self.now} ns"
             )
         heapq.heappush(self._heap, (time_ns, self._seq, _GENERIC, callback))
+        heapq.heappush(self._generic_times, time_ns)
         self._seq += 1
 
     def schedule_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
@@ -113,6 +125,8 @@ class EventQueue:
         self.now = entry[0]
         if entry[2] == _TRANSFER:
             self._transfer_pending -= 1
+        else:
+            heapq.heappop(self._generic_times)
         return entry
 
     # ------------------------------------------------------------------
@@ -134,6 +148,15 @@ class EventQueue:
     def next_time(self) -> int | None:
         """Timestamp of the earliest pending event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def next_generic_time(self) -> int | None:
+        """Deadline of the earliest pending *generic* event, or ``None``.
+
+        Maintained incrementally (O(1) to read), so the engine's fast path
+        can reject windows bounded by a nearby generic event — the dominant
+        probe-failure mode during churn phases — without scanning the heap.
+        """
+        return self._generic_times[0] if self._generic_times else None
 
     # ------------------------------------------------------------------
     # Fast-path mutation

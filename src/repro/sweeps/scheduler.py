@@ -1,0 +1,181 @@
+"""Resumable parallel sweep scheduler.
+
+:func:`run_sweep` is the single execution path for every experiment: it
+takes a list of :class:`~repro.sweeps.spec.SweepPointSpec`, satisfies what
+it can from the content-addressed :class:`~repro.sweeps.store.ResultStore`,
+evaluates the rest — sequentially or over a chunked
+:class:`~concurrent.futures.ProcessPoolExecutor` — and returns results in
+the order the specs were given, regardless of completion order.
+
+Guarantees:
+
+* **Determinism** — evaluation is a pure function of the spec (seeds
+  included), so parallel and sequential runs produce bit-identical results
+  and the returned list order always matches the input order.
+* **Per-point checkpointing** — every computed result is appended to the
+  store the moment it arrives, so a killed run loses at most the points
+  still in flight.
+* **Resume** — a re-run of the same spec list completes exactly the
+  missing points (``resume=False`` recomputes everything but still
+  refreshes the store).
+* **Explicit failures** — a point that delivers no messages raises
+  :class:`~repro.errors.ZeroDeliveryError` out of :func:`run_sweep` instead
+  of contributing a silent NaN row.
+
+Worker counts default to ``$REPRO_SWEEP_WORKERS`` (sequential when unset),
+so the experiment drivers and benchmarks pick up process-level parallelism
+without any call-site changes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .spec import SweepPointResult, SweepPointSpec, evaluate_spec
+from .store import ResultStore
+
+__all__ = ["SweepOutcome", "run_sweep", "resolve_workers"]
+
+#: Progress callback signature: ``(points_done, points_total, last_spec)``.
+ProgressCallback = Callable[[int, int, SweepPointSpec], None]
+
+
+@dataclass
+class SweepOutcome:
+    """What :func:`run_sweep` did: the results plus cache accounting."""
+
+    results: list[SweepPointResult]
+    cache_hits: int
+    computed: int
+
+    @property
+    def total(self) -> int:
+        """Number of sweep points (== ``len(results)``)."""
+        return len(self.results)
+
+    def summary(self) -> str:
+        """One-line accounting string for CLI/log output."""
+        return (
+            f"{self.total} points: {self.cache_hits} cache hits, "
+            f"{self.computed} computed"
+        )
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Effective worker count: explicit value, else ``$REPRO_SWEEP_WORKERS``,
+    else 1 (sequential).  ``0`` and negative values mean "one per CPU"."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or 1)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _evaluate_chunk(specs: list[SweepPointSpec]) -> list[SweepPointResult]:
+    """Worker-side entry point: evaluate a chunk of specs."""
+    return [evaluate_spec(spec) for spec in specs]
+
+
+def run_sweep(
+    specs: Sequence[SweepPointSpec],
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+    chunk_size: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SweepOutcome:
+    """Evaluate ``specs``, reusing and checkpointing results via ``store``.
+
+    Parameters
+    ----------
+    specs:
+        The sweep points; the returned results preserve this order.
+        Duplicate specs are evaluated once and fanned back out.
+    store:
+        Content-addressed result store; ``None`` disables caching entirely
+        (no reads, no writes) — the orchestrator then just computes.
+    workers:
+        Process count (see :func:`resolve_workers`); ``1`` runs in-process.
+    resume:
+        When ``True`` (default), stored results are reused and only missing
+        points run.  When ``False`` every point is recomputed, and the fresh
+        rows are appended to the store (last row wins on lookup).
+    chunk_size:
+        Specs per pool task.  The default of 1 gives per-point
+        checkpointing and the finest progress; raise it when points are so
+        cheap that pickling dominates.
+    progress:
+        Optional callback invoked after every completed point with
+        ``(points_done, points_total, spec)``.
+    """
+    specs = list(specs)
+    results: list[SweepPointResult | None] = [None] * len(specs)
+    cache_hits = 0
+    if store is not None and resume:
+        for index, spec in enumerate(specs):
+            cached = store.get(spec)
+            if cached is not None:
+                results[index] = cached
+                cache_hits += 1
+
+    # Unique missing specs, in first-appearance order (determinism).
+    pending: dict[SweepPointSpec, list[int]] = {}
+    for index, result in enumerate(results):
+        if result is None:
+            pending.setdefault(specs[index], []).append(index)
+    unique = list(pending)
+    done = len(specs) - sum(len(indices) for indices in pending.values())
+
+    def record(result: SweepPointResult) -> None:
+        nonlocal done
+        indices = pending[result.spec]
+        for index in indices:
+            results[index] = result
+        if store is not None:
+            store.put(result)
+        done += len(indices)
+        if progress is not None:
+            progress(done, len(specs), result.spec)
+
+    workers = resolve_workers(workers)
+    try:
+        if workers <= 1 or len(unique) <= 1:
+            for spec in unique:
+                record(evaluate_spec(spec))
+        else:
+            chunk = max(1, int(chunk_size))
+            chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
+            first_error: Exception | None = None
+            with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+                futures = [pool.submit(_evaluate_chunk, part) for part in chunks]
+                for future in as_completed(futures):
+                    try:
+                        chunk_results = future.result()
+                    except CancelledError:
+                        continue  # cancelled after the first failure below
+                    except Exception as exc:
+                        # Keep draining: results from chunks that completed
+                        # (or are still running and will complete) must be
+                        # checkpointed so a re-run only repeats the failed
+                        # points.  Unstarted chunks are cancelled.
+                        if first_error is None:
+                            first_error = exc
+                            for pending_future in futures:
+                                pending_future.cancel()
+                        continue
+                    for result in chunk_results:
+                        record(result)
+            if first_error is not None:
+                raise first_error
+    finally:
+        if store is not None:
+            store.flush_index()
+
+    return SweepOutcome(
+        results=[result for result in results if result is not None],
+        cache_hits=cache_hits,
+        computed=len(unique),
+    )

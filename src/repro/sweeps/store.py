@@ -1,0 +1,266 @@
+"""Content-addressed sweep result store.
+
+Results are stored under a cache directory (default ``.sweep-cache/``,
+overridable via ``REPRO_SWEEP_CACHE``) in two files:
+
+``results.jsonl``
+    Append-only JSON Lines; one row per completed sweep point::
+
+        {"key": <sha256>, "salt": <code salt>, "spec": {...},
+         "latencies_us": [...], "metrics": {...}}
+
+    Appending (never rewriting) is what makes the scheduler's per-point
+    checkpointing crash-safe: a killed run leaves a valid prefix plus at
+    most one truncated trailing line, which the next open detects and
+    drops.  When a key is appended twice the *last* row wins.
+
+``index.json``
+    Acceleration structure: ``{"size": <bytes indexed>, "offsets":
+    {key: byte offset into results.jsonl}}``.  The index is advisory —
+    whenever its recorded size differs from the data file's actual size
+    (a killed run, a hand-edited store) the data file is rescanned and the
+    index rebuilt, so deleting ``index.json`` is always safe.
+
+Hashing contract
+----------------
+The key of a row is ``sha256(canonical-json({"salt": ..., "spec":
+spec.as_dict()}))``: every field of :class:`~repro.sweeps.spec.SweepPointSpec`
+participates, so any parameter change produces a different key, and the
+*code salt* folds the library version plus a store schema version in, so
+results computed by older code are never silently reused after an upgrade
+(bump :data:`STORE_SCHEMA_VERSION` when changing what the simulator's
+observable behaviour or the row format means).  Identity of results is
+content-addressed; nothing depends on file order or timestamps.
+
+The store is single-writer: one orchestrator process appends (worker
+processes return results over the pool, they never touch the store).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..errors import SweepError
+from .spec import SweepPointResult, SweepPointSpec, spec_from_dict
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "default_code_salt",
+    "spec_key",
+]
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_STORE_DIR = ".sweep-cache"
+
+#: Bump when the meaning of stored rows changes (simulator behaviour,
+#: spec semantics, row format): all previously stored rows become misses.
+STORE_SCHEMA_VERSION = 1
+
+
+def default_code_salt() -> str:
+    """The default code-version salt: library version + store schema."""
+    from .. import __version__
+
+    return f"repro-{__version__}/sweep-schema-{STORE_SCHEMA_VERSION}"
+
+
+def spec_key(spec: SweepPointSpec, code_salt: str | None = None) -> str:
+    """Stable content hash of ``spec`` under ``code_salt``.
+
+    Canonical JSON (sorted keys, no whitespace) of the spec dict plus the
+    salt, hashed with SHA-256.  Two specs share a key iff every field is
+    equal and they were produced under the same salt.
+    """
+    payload = {
+        "salt": default_code_salt() if code_salt is None else code_salt,
+        "spec": spec.as_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed store of :class:`SweepPointResult` rows.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_SWEEP_CACHE`` or
+        ``.sweep-cache``.  Created on first write.
+    code_salt:
+        Override the code-version salt (tests use this to exercise
+        invalidation; everything else should keep the default).
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, code_salt: str | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_STORE_DIR)
+        self.root = Path(root)
+        self.results_path = self.root / "results.jsonl"
+        self.index_path = self.root / "index.json"
+        self.code_salt = default_code_salt() if code_salt is None else code_salt
+        self._offsets: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _data_size(self) -> int:
+        try:
+            return self.results_path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def _ensure_index(self) -> dict[str, int]:
+        """Load the key → offset map, rescanning ``results.jsonl`` when the
+        persisted index is missing or stale."""
+        if self._offsets is not None:
+            return self._offsets
+        size = self._data_size()
+        if self.index_path.exists():
+            try:
+                persisted = json.loads(self.index_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                persisted = None
+            if (
+                isinstance(persisted, dict)
+                and persisted.get("size") == size
+                and isinstance(persisted.get("offsets"), dict)
+            ):
+                self._offsets = {str(k): int(v) for k, v in persisted["offsets"].items()}
+                return self._offsets
+        self._offsets = self._scan()
+        return self._offsets
+
+    def _scan(self) -> dict[str, int]:
+        """Rebuild the offset map from the data file.
+
+        A truncated trailing line (a run killed mid-append) is cut off so
+        subsequent appends produce a valid file again; corruption anywhere
+        else raises :class:`~repro.errors.SweepError`.
+        """
+        offsets: dict[str, int] = {}
+        if not self.results_path.exists():
+            return offsets
+        with open(self.results_path, "rb") as handle:
+            data = handle.read()
+        position = 0
+        valid_until = 0
+        while position < len(data):
+            newline = data.find(b"\n", position)
+            line = data[position : len(data) if newline < 0 else newline]
+            try:
+                row = json.loads(line)
+                key = row["key"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if newline < 0:
+                    break  # truncated tail from a killed run: drop it below
+                raise SweepError(
+                    f"corrupt sweep store row at byte {position} of "
+                    f"{self.results_path}; delete the store to recover"
+                )
+            if newline < 0:
+                break  # complete JSON but no newline: treat as truncated too
+            offsets[str(key)] = position
+            position = newline + 1
+            valid_until = position
+        if valid_until < len(data):
+            with open(self.results_path, "r+b") as handle:
+                handle.truncate(valid_until)
+        return offsets
+
+    def flush_index(self) -> None:
+        """Persist the offset map so the next open skips the full rescan."""
+        if self._offsets is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"size": self._data_size(), "offsets": self._offsets}
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(self.index_path)
+
+    # ------------------------------------------------------------------
+    # Content-addressed access
+    # ------------------------------------------------------------------
+    def key(self, spec: SweepPointSpec) -> str:
+        """The content hash of ``spec`` under this store's code salt."""
+        return spec_key(spec, self.code_salt)
+
+    def __contains__(self, spec: SweepPointSpec) -> bool:
+        return self.key(spec) in self._ensure_index()
+
+    def __len__(self) -> int:
+        return len(self._ensure_index())
+
+    def get(self, spec: SweepPointSpec) -> SweepPointResult | None:
+        """The stored result of ``spec``, or ``None`` on a cache miss."""
+        offset = self._ensure_index().get(self.key(spec))
+        if offset is None:
+            return None
+        row = self._read_row(offset)
+        return SweepPointResult(
+            spec=spec,
+            latencies_us=tuple(row["latencies_us"]),
+            metrics=tuple((k, v) for k, v in row.get("metrics", ())),
+        )
+
+    def put(self, result: SweepPointResult) -> str:
+        """Append ``result`` (checkpoint) and return its key."""
+        offsets = self._ensure_index()
+        key = self.key(result.spec)
+        row = {
+            "key": key,
+            "salt": self.code_salt,
+            "spec": result.spec.as_dict(),
+            "latencies_us": list(result.latencies_us),
+            # Pair list, not an object: metric order is part of the result
+            # (report tables use it for column order) and canonical-JSON key
+            # sorting must not scramble it.
+            "metrics": [[k, v] for k, v in result.metrics],
+        }
+        line = json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.results_path, "ab") as handle:
+            offset = handle.tell()
+            handle.write(line.encode("utf-8"))
+        offsets[key] = offset
+        return key
+
+    def _read_row(self, offset: int) -> dict:
+        with open(self.results_path, "rb") as handle:
+            handle.seek(offset)
+            line = handle.readline()
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SweepError(
+                f"corrupt sweep store row at byte {offset} of {self.results_path}"
+            ) from exc
+
+    def iter_results(self):
+        """Yield every stored :class:`SweepPointResult` (any salt), rebuilding
+        specs from the stored rows — the loader path for reassembling figures
+        without re-running anything."""
+        for offset in self._ensure_index().values():
+            row = self._read_row(offset)
+            yield SweepPointResult(
+                spec=spec_from_dict(row["spec"]),
+                latencies_us=tuple(row["latencies_us"]),
+                metrics=tuple((k, v) for k, v in row.get("metrics", ())),
+            )
+
+    def clear(self) -> None:
+        """Delete every stored row and the index."""
+        for path in (self.results_path, self.index_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._offsets = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(root={str(self.root)!r}, rows={len(self)})"

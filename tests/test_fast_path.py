@@ -543,3 +543,42 @@ class TestFastPathSafety:
                 )
             )
         assert results[0] == results[1]
+
+
+@pytest.mark.equivalence
+class TestGenericDeadlineBail:
+    """The O(1) probe bail on the EventQueue-maintained earliest generic
+    deadline (the churn-phase cheapener named in the ROADMAP)."""
+
+    def test_bails_engage_on_churny_mixed_traffic(self, lattice32, lattice32_spam):
+        """Paper-length mixed traffic is churn-dominated: submits, router
+        decisions and acquisitions queue as generic events close to the
+        streaming transfers, so most probes must exit through the O(1)
+        generic-deadline bail — and the run must stay bit-identical."""
+        workload = mixed_traffic_workload(
+            lattice32,
+            rate_per_us=0.03,
+            multicast_destinations=8,
+            num_messages=36,
+            multicast_fraction=0.15,
+            seed=23,
+            arrival_process=NegativeBinomialArrivals(0.03),
+        )
+        fast_sim = _run_pair(
+            lattice32,
+            lattice32_spam,
+            workload.submit_to,
+            flits=64,
+            expect_coalesced=True,
+        )
+        assert fast_sim.coalesce_generic_bails > 0, (
+            "no probe exited through the O(1) generic-deadline bail; "
+            "the counter (and the optimisation) never engaged"
+        )
+
+    def test_reference_engine_never_bails(self, lattice32, lattice32_spam):
+        config = SimulationConfig(message_length_flits=32, fast_path=False)
+        simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+        simulator.submit_broadcast(lattice32.processors()[0])
+        simulator.run()
+        assert simulator.coalesce_generic_bails == 0

@@ -242,6 +242,39 @@ class TestEventQueueTransferEntries:
         with pytest.raises(SimulationError):
             queue.shift_transfers(25, 30)
 
+    def test_next_generic_time_tracks_generic_entries_only(self):
+        queue = EventQueue()
+        assert queue.next_generic_time() is None
+        queue.schedule_transfer(5, object())
+        assert queue.next_generic_time() is None  # transfers don't count
+        queue.schedule(30, lambda: None)
+        queue.schedule(10, lambda: None)
+        assert queue.next_generic_time() == 10
+        queue.pop_entry()  # transfer at 5
+        assert queue.next_generic_time() == 10
+        queue.pop_entry()  # generic at 10
+        assert queue.next_generic_time() == 30
+        queue.pop_entry()  # generic at 30
+        assert queue.next_generic_time() is None
+
+    def test_next_generic_time_survives_transfer_shift(self):
+        queue = EventQueue()
+        queue.schedule(100, lambda: None)
+        queue.schedule_transfer(10, object())
+        queue.shift_transfers(10, 40)
+        # The shift retimes transfers only; the generic deadline is exact.
+        assert queue.next_generic_time() == 100
+
+    def test_next_generic_time_handles_equal_deadlines(self):
+        queue = EventQueue()
+        for _ in range(3):
+            queue.schedule(50, lambda: None)
+        queue.pop_entry()
+        queue.pop_entry()
+        assert queue.next_generic_time() == 50
+        queue.pop_entry()
+        assert queue.next_generic_time() is None
+
 
 class TestSimulationConfig:
     def test_paper_defaults(self):

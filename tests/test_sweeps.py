@@ -1,0 +1,305 @@
+"""Tests for the sweep orchestration subsystem (:mod:`repro.sweeps`).
+
+Covers the satellite guarantees the subsystem exists to provide:
+
+* spec hashing is stable and sensitive to every field plus the code salt;
+* the store round-trips results, survives a truncated trailing line (a run
+  killed mid-append) and rebuilds a stale index;
+* parallel and sequential runs are bit-identical under the same seeds;
+* cache hit/miss accounting and code-salt invalidation;
+* an interrupted sweep resumes by computing exactly the missing points;
+* zero-delivery points surface as explicit errors, not NaN rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ZeroDeliveryError
+from repro.experiments.figure2 import Figure2Config, figure2_result_from_points, figure2_specs
+from repro.experiments.figure3 import Figure3Config, figure3_specs
+from repro.experiments.common import ExperimentScale, SCALES
+from repro.sweeps import (
+    ResultStore,
+    SweepPointResult,
+    SweepPointSpec,
+    evaluate_spec,
+    run_sweep,
+    spec_key,
+)
+
+SMOKE = SCALES["smoke"]
+
+
+def small_specs(counts=(1, 4), network_size=16, samples=1):
+    config = Figure2Config(
+        network_sizes=(network_size,),
+        destination_counts={network_size: list(counts)},
+        scale=ExperimentScale(
+            name="tiny", message_length_flits=16, samples_per_point=samples,
+            messages_per_rate_point=10,
+        ),
+    )
+    return config, figure2_specs(config)
+
+
+BASE_SPEC = SweepPointSpec(
+    workload_kind="single-multicast",
+    network_size=16,
+    topology_seed=3,
+    message_length_flits=16,
+    workload_params=(("num_destinations", 4), ("samples", 2)),
+    workload_seed=5,
+    x=4.0,
+)
+
+
+class TestSpecKey:
+    def test_stable_for_equal_specs(self):
+        clone = SweepPointSpec(**{f: getattr(BASE_SPEC, f) for f in (
+            "workload_kind", "network_size", "topology_seed", "message_length_flits",
+            "workload_params", "workload_seed", "root_strategy", "selection",
+            "selection_seed", "sim_overrides", "label", "x")})
+        assert spec_key(BASE_SPEC) == spec_key(clone)
+
+    def test_sensitive_to_every_field(self):
+        base = spec_key(BASE_SPEC)
+        from dataclasses import replace
+        variants = [
+            replace(BASE_SPEC, workload_seed=6),
+            replace(BASE_SPEC, topology_seed=4),
+            replace(BASE_SPEC, message_length_flits=32),
+            replace(BASE_SPEC, workload_params=(("num_destinations", 5), ("samples", 2))),
+            replace(BASE_SPEC, sim_overrides=(("input_buffer_depth", 2),)),
+            replace(BASE_SPEC, selection="first-allowed"),
+            replace(BASE_SPEC, root_strategy="first"),
+            replace(BASE_SPEC, label="other"),
+            replace(BASE_SPEC, x=5.0),
+        ]
+        keys = {base} | {spec_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_sensitive_to_code_salt(self):
+        assert spec_key(BASE_SPEC, "salt-a") != spec_key(BASE_SPEC, "salt-b")
+
+
+class TestResultStore:
+    def test_roundtrip_and_persistence(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        result = evaluate_spec(BASE_SPEC)
+        assert store.get(BASE_SPEC) is None
+        store.put(result)
+        store.flush_index()
+        # A brand-new store instance (fresh index load) sees the same row.
+        reopened = ResultStore(tmp_path / "cache")
+        loaded = reopened.get(BASE_SPEC)
+        assert loaded is not None
+        assert loaded.latencies_us == result.latencies_us
+        assert loaded.metrics == result.metrics
+
+    def test_stale_index_triggers_rescan(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(evaluate_spec(BASE_SPEC))
+        store.flush_index()
+        # Append another row without updating the index: size mismatch.
+        from dataclasses import replace
+        other = replace(BASE_SPEC, workload_seed=6)
+        second = ResultStore(tmp_path / "cache")
+        second.put(evaluate_spec(other))
+        third = ResultStore(tmp_path / "cache")
+        assert third.get(BASE_SPEC) is not None
+        assert third.get(other) is not None
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(evaluate_spec(BASE_SPEC))
+        # Simulate a run killed mid-append: garbage half-line at the end.
+        with open(store.results_path, "ab") as handle:
+            handle.write(b'{"key": "deadbeef", "latencies')
+        reopened = ResultStore(tmp_path / "cache")
+        assert reopened.get(BASE_SPEC) is not None
+        # The partial line was cut off, so appends produce a valid file.
+        from dataclasses import replace
+        other = replace(BASE_SPEC, workload_seed=6)
+        reopened.put(evaluate_spec(other))
+        final = ResultStore(tmp_path / "cache")
+        assert final.get(other) is not None
+        assert len(final) == 2
+
+    def test_iter_results_rebuilds_specs(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        result = evaluate_spec(BASE_SPEC)
+        store.put(result)
+        (loaded,) = list(store.iter_results())
+        assert loaded.spec == BASE_SPEC
+        assert loaded.latencies_us == result.latencies_us
+
+
+class TestRunSweep:
+    def test_results_preserve_spec_order(self):
+        _config, specs = small_specs((4, 1))
+        outcome = run_sweep(specs)
+        assert [r.spec.x for r in outcome.results] == [s.x for s in specs]
+        assert outcome.computed == len(specs)
+        assert outcome.cache_hits == 0
+
+    def test_duplicate_specs_computed_once(self):
+        _config, specs = small_specs((1,))
+        outcome = run_sweep(specs * 3)
+        assert outcome.total == 3
+        assert outcome.computed == 1
+        assert len({id(r) for r in outcome.results}) == 1
+
+    @pytest.mark.slow
+    def test_parallel_matches_sequential_bit_identically(self):
+        _config, specs = small_specs((1, 4, 8))
+        sequential = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=2)
+        assert [r.latencies_us for r in sequential.results] == [
+            r.latencies_us for r in parallel.results
+        ]
+        assert [r.metrics for r in sequential.results] == [
+            r.metrics for r in parallel.results
+        ]
+
+    def test_cache_hit_miss_accounting(self, tmp_path):
+        _config, specs = small_specs((1, 4))
+        store = ResultStore(tmp_path / "cache")
+        cold = run_sweep(specs, store=store)
+        assert (cold.cache_hits, cold.computed) == (0, 2)
+        warm = run_sweep(specs, store=ResultStore(tmp_path / "cache"))
+        assert (warm.cache_hits, warm.computed) == (2, 0)
+        assert [r.latencies_us for r in warm.results] == [
+            r.latencies_us for r in cold.results
+        ]
+
+    def test_code_salt_invalidates(self, tmp_path):
+        _config, specs = small_specs((1,))
+        run_sweep(specs, store=ResultStore(tmp_path / "cache"))
+        salted = run_sweep(specs, store=ResultStore(tmp_path / "cache", code_salt="v2"))
+        assert (salted.cache_hits, salted.computed) == (0, 1)
+
+    def test_no_resume_recomputes_but_refreshes_store(self, tmp_path):
+        _config, specs = small_specs((1,))
+        store = ResultStore(tmp_path / "cache")
+        run_sweep(specs, store=store)
+        again = run_sweep(specs, store=store, resume=False)
+        assert (again.cache_hits, again.computed) == (0, 1)
+        assert ResultStore(tmp_path / "cache").get(specs[0]) is not None
+
+    def test_resume_completes_exactly_the_missing_points(self, tmp_path):
+        _config, specs = small_specs((1, 4, 8, 15))
+        full = run_sweep(specs, store=ResultStore(tmp_path / "full"))
+        # Simulate an interrupted sweep: a store holding only half the rows.
+        partial_store = ResultStore(tmp_path / "partial")
+        for result in full.results[:2]:
+            partial_store.put(result)
+        partial_store.flush_index()
+        resumed = run_sweep(specs, store=ResultStore(tmp_path / "partial"))
+        assert (resumed.cache_hits, resumed.computed) == (2, 2)
+        assert [r.latencies_us for r in resumed.results] == [
+            r.latencies_us for r in full.results
+        ]
+        # The store now holds the complete sweep.
+        assert all(spec in ResultStore(tmp_path / "partial") for spec in specs)
+
+    def test_zero_delivery_is_an_explicit_error(self, monkeypatch):
+        import repro.sweeps.spec as spec_module
+        monkeypatch.setattr(spec_module, "_run_latencies",
+                            lambda *args, **kwargs: [])
+        _config, specs = small_specs((1,))
+        with pytest.raises(ZeroDeliveryError):
+            run_sweep(specs, workers=1)
+
+    def test_mean_us_raises_on_empty(self):
+        result = SweepPointResult(spec=BASE_SPEC, latencies_us=())
+        with pytest.raises(ZeroDeliveryError):
+            result.mean_us
+
+    def test_stateful_selection_is_deterministic_per_point(self):
+        """A spec using the stateful "random" selection must evaluate to the
+        same result every time: routing built on a stateful selection is
+        never shared between evaluations (regression: a shared lru-cached
+        RandomSelection RNG made results depend on evaluation history,
+        breaking the content-addressed cache contract)."""
+        from dataclasses import replace
+
+        spec = replace(BASE_SPEC, selection="random", selection_seed=17)
+        first = evaluate_spec(spec)
+        second = evaluate_spec(spec)
+        assert first.latencies_us == second.latencies_us
+
+    @pytest.mark.slow
+    def test_worker_failure_still_checkpoints_completed_points(self, tmp_path):
+        """A failing point must not discard other points' checkpoints: the
+        pool path drains remaining futures and stores their results before
+        re-raising the first error."""
+        from dataclasses import replace
+
+        good = BASE_SPEC
+        bad = replace(BASE_SPEC, workload_kind="bogus-kind")
+        store = ResultStore(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            run_sweep([bad, good], store=store, workers=2)
+        assert ResultStore(tmp_path / "cache").get(good) is not None
+
+
+class TestFigureIntegration:
+    def test_figure2_warm_cache_is_bit_identical(self, tmp_path):
+        config, specs = small_specs((1, 4, 15))
+        store = ResultStore(tmp_path / "cache")
+        cold = run_sweep(specs, store=store)
+        warm = run_sweep(specs, store=ResultStore(tmp_path / "cache"))
+        assert warm.cache_hits == len(specs)
+        cold_fig = figure2_result_from_points(config, cold.results)
+        warm_fig = figure2_result_from_points(config, warm.results)
+        assert json.dumps(cold_fig.as_dict(), sort_keys=True) == json.dumps(
+            warm_fig.as_dict(), sort_keys=True
+        )
+
+    def test_figure3_specs_route_through_orchestrator(self, tmp_path):
+        config = Figure3Config(
+            network_size=16,
+            multicast_degrees=(4,),
+            arrival_rates_per_us=(0.01,),
+            scale=SMOKE,
+        )
+        outcome = run_sweep(figure3_specs(config), store=ResultStore(tmp_path / "c"))
+        assert outcome.total == 1
+        assert outcome.results[0].latencies_us
+        again = run_sweep(figure3_specs(config), store=ResultStore(tmp_path / "c"))
+        assert again.cache_hits == 1
+
+
+class TestSweepCli:
+    def test_sweep_command_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "--scale", "smoke", "sweep", "figure2", "--network-sizes", "16",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        rc = main(argv + ["--export", str(tmp_path / "cold.json")])
+        assert rc == 0
+        cold_out = capsys.readouterr().out
+        assert "0 cache hits" in cold_out
+        rc = main(argv + ["--export", str(tmp_path / "warm.json")])
+        assert rc == 0
+        warm_out = capsys.readouterr().out
+        assert "0 computed" in warm_out
+        assert (tmp_path / "cold.json").read_bytes() == (tmp_path / "warm.json").read_bytes()
+
+    def test_sweep_command_no_cache(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)  # the default store is CWD-relative
+        rc = main([
+            "--scale", "smoke", "sweep", "compare", "--network-size", "16",
+            "--destinations", "8", "--bound-only", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert not (tmp_path / ".sweep-cache").exists()
