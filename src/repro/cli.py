@@ -17,7 +17,10 @@ exposes the library's main entry points without writing any Python:
 ``sweep``
     Cached, resumable, parallel execution of any experiment through the
     :mod:`repro.sweeps` orchestrator (``--workers``, ``--resume``,
-    ``--no-cache``, ``--export``).
+    ``--no-cache``, ``--export``).  ``--shard I/N`` restricts a run to one
+    deterministic shard of the sweep so several hosts can split it;
+    ``sweep merge --into DIR SRC...`` combines the per-shard stores back
+    into one, after which an unsharded run is a pure warm-cache export.
 """
 
 from __future__ import annotations
@@ -29,7 +32,9 @@ from typing import Sequence
 
 from .analysis.hotspot import root_traversal_probability
 from .analysis.report import format_table, series_side_by_side
+from .analysis.sweeps import sweep_coverage
 from .core.spam import SpamRouting
+from .errors import SweepError
 from .experiments.common import SCALES
 from .experiments.figure2 import (
     Figure2Config,
@@ -44,7 +49,7 @@ from .experiments.software_comparison import (
     run_software_comparison,
     software_comparison_specs,
 )
-from .sweeps import DEFAULT_STORE_DIR, ResultStore, run_sweep
+from .sweeps import DEFAULT_STORE_DIR, ResultStore, merge_stores, parse_shard, run_sweep
 from .topology.irregular import lattice_irregular_network
 from .topology.properties import summarize
 from .topology.serialization import save_network
@@ -108,10 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
             "Run an experiment through the sweep orchestrator: results are "
             "content-addressed in the cache directory, an interrupted sweep "
             "resumes from what it already computed, and points spread over "
-            "worker processes."
+            "worker processes.  '--shard I/N' runs one deterministic shard "
+            "of the sweep (split across hosts, one cache dir each); "
+            "'sweep merge --into DIR SRC...' combines per-shard stores "
+            "conflict-free."
         ),
     )
-    sweep.add_argument("experiment", choices=["figure2", "figure3", "compare"])
+    sweep.add_argument("experiment", choices=["figure2", "figure3", "compare", "merge"])
+    sweep.add_argument("sources", nargs="*", default=[], metavar="SRC",
+                       help="[merge] source store directories to merge")
+    sweep.add_argument("--into", default=None, metavar="DIR",
+                       help="[merge] destination store directory")
+    sweep.add_argument("--shard", default=None, metavar="I/N",
+                       help="run only shard I of N (1-based, e.g. 2/4): a "
+                            "deterministic content-addressed slice of the sweep, "
+                            "disjoint from every other shard")
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: $REPRO_SWEEP_WORKERS or sequential; "
                             "0 = one per CPU)")
@@ -208,7 +224,43 @@ def _cmd_compare(args, scale) -> int:
     return 0
 
 
+def _cmd_merge(args) -> int:
+    if not args.into:
+        print("sweep merge: --into DIR is required", file=sys.stderr)
+        return 2
+    if not args.sources:
+        print("sweep merge: at least one source store is required", file=sys.stderr)
+        return 2
+    for source in args.sources:
+        status = ResultStore(source).manifest_status()
+        if status is not None:
+            print(f"  {source}: {status.describe()}")
+    try:
+        report = merge_stores(args.into, *args.sources)
+    except (SweepError, ValueError) as exc:
+        print(f"sweep merge: {exc}", file=sys.stderr)
+        return 1
+    print(f"sweep merge: {report.summary()}  (store: {args.into})")
+    if report.missing:
+        print(f"  still missing {len(report.missing)} expected point(s); "
+              f"re-run the owing shard(s) and merge again")
+    return 0
+
+
 def _cmd_sweep(args, scale) -> int:
+    if args.experiment == "merge":
+        return _cmd_merge(args)
+    if args.sources or args.into:
+        print("sweep: SRC.../--into are only valid with the 'merge' experiment",
+              file=sys.stderr)
+        return 2
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
     if args.experiment == "figure2":
         config = Figure2Config(
             network_sizes=tuple(args.network_sizes),
@@ -248,7 +300,8 @@ def _cmd_sweep(args, scale) -> int:
         print(f"  [{done}/{total}] {spec.label} x={spec.x}", flush=True)
 
     outcome = run_sweep(
-        specs, store=store, workers=args.workers, resume=args.resume, progress=progress
+        specs, store=store, workers=args.workers, resume=args.resume,
+        progress=progress, shard=shard,
     )
     if assemble is not None:
         result = assemble(outcome.results)
@@ -258,8 +311,13 @@ def _cmd_sweep(args, scale) -> int:
         rows = [point.metrics_dict() for point in outcome.results]
         print(format_table(rows))
         exported = {"experiment": args.experiment, "rows": rows}
+    shard_note = ""
+    if shard is not None:
+        coverage = sweep_coverage(specs, outcome.results)
+        shard_note = f"  [shard {shard[0] + 1}/{shard[1]}: {coverage.summary()}]"
     print(f"sweep: {outcome.summary()}"
-          + ("" if store is None else f"  (store: {store.root})"))
+          + ("" if store is None else f"  (store: {store.root})")
+          + shard_note)
     if args.export:
         with open(args.export, "w") as handle:
             json.dump(exported, handle, indent=2, sort_keys=True)
@@ -305,7 +363,19 @@ def _cmd_hotspot(args) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # argparse cannot place a SRC... positional after "--into DIR" once the
+    # experiment positional is consumed ("sweep merge --into DIR SRC..."),
+    # so merge sources left unconsumed are collected here.
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        if (
+            args.command == "sweep"
+            and getattr(args, "experiment", None) == "merge"
+            and not any(extra.startswith("-") for extra in extras)
+        ):
+            args.sources = list(args.sources) + extras
+        else:
+            parser.error(f"unrecognized arguments: {' '.join(extras)}")
     scale = SCALES[args.scale]
     if args.command == "topology":
         return _cmd_topology(args)

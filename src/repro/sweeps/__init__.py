@@ -7,18 +7,23 @@ points.  This package turns those sweeps into cached, resumable, parallel
 runs:
 
 * :mod:`repro.sweeps.spec` — :class:`SweepPointSpec`, a frozen, picklable,
-  hashable description of one point, and :func:`evaluate_spec`, the single
-  evaluation path every workload kind shares;
+  hashable description of one point, :func:`evaluate_spec`, the single
+  evaluation path every workload kind shares, and :func:`shard_specs`, the
+  deterministic content-addressed partitioner behind multi-host sharding;
 * :mod:`repro.sweeps.store` — :class:`ResultStore`, a content-addressed
-  JSONL + index store keyed by a stable hash of spec + code-version salt;
+  JSONL + index store keyed by a stable hash of spec + code-version salt,
+  plus :func:`merge_stores`, which combines per-shard stores conflict-free
+  and tracks completion through per-store ``manifest.json`` files;
 * :mod:`repro.sweeps.scheduler` — :func:`run_sweep`, chunked process-pool
-  dispatch with per-point checkpointing, deterministic ordering and a
-  resume path that completes a partially finished sweep from the store.
+  dispatch with per-point checkpointing, deterministic ordering, a resume
+  path that completes a partially finished sweep from the store, and a
+  ``shard=(index, count)`` restriction for splitting a sweep across hosts.
 
 The experiment drivers in :mod:`repro.experiments` build specs and route
 through :func:`run_sweep`; ``repro-spam sweep`` exposes the same machinery
-on the command line.  ``docs/sweeps.md`` documents the store layout, the
-hashing contract and the resume semantics.
+on the command line (including ``--shard I/N`` and ``sweep merge``).
+``docs/sweeps.md`` documents the store layout, the hashing contract, the
+resume semantics and the sharding workflow.
 """
 
 from .scheduler import SweepOutcome, resolve_workers, run_sweep
@@ -28,14 +33,19 @@ from .spec import (
     WORKLOAD_KINDS,
     build_network_and_routing,
     evaluate_spec,
+    parse_shard,
     run_software_multicast_once,
+    shard_specs,
     spec_from_dict,
 )
 from .store import (
     DEFAULT_STORE_DIR,
     STORE_SCHEMA_VERSION,
+    ManifestStatus,
+    MergeReport,
     ResultStore,
     default_code_salt,
+    merge_stores,
     spec_key,
 )
 
@@ -45,9 +55,14 @@ __all__ = [
     "WORKLOAD_KINDS",
     "evaluate_spec",
     "spec_from_dict",
+    "shard_specs",
+    "parse_shard",
     "build_network_and_routing",
     "run_software_multicast_once",
     "ResultStore",
+    "ManifestStatus",
+    "MergeReport",
+    "merge_stores",
     "spec_key",
     "default_code_salt",
     "DEFAULT_STORE_DIR",

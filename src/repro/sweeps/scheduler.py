@@ -21,6 +21,12 @@ Guarantees:
 * **Explicit failures** — a point that delivers no messages raises
   :class:`~repro.errors.ZeroDeliveryError` out of :func:`run_sweep` instead
   of contributing a silent NaN row.
+* **Sharding** — ``shard=(index, count)`` restricts the run to one
+  deterministic, content-addressed shard of the spec list
+  (:func:`~repro.sweeps.spec.shard_specs`), so several hosts can split a
+  sweep without coordination and later combine their stores with
+  :func:`~repro.sweeps.store.merge_stores`.  The store's ``manifest.json``
+  records which points the (possibly sharded) run was responsible for.
 
 Worker counts default to ``$REPRO_SWEEP_WORKERS`` (sequential when unset),
 so the experiment drivers and benchmarks pick up process-level parallelism
@@ -34,7 +40,7 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from .spec import SweepPointResult, SweepPointSpec, evaluate_spec
+from .spec import SweepPointResult, SweepPointSpec, evaluate_spec, shard_specs
 from .store import ResultStore
 
 __all__ = ["SweepOutcome", "run_sweep", "resolve_workers"]
@@ -86,6 +92,7 @@ def run_sweep(
     resume: bool = True,
     chunk_size: int = 1,
     progress: ProgressCallback | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> SweepOutcome:
     """Evaluate ``specs``, reusing and checkpointing results via ``store``.
 
@@ -110,8 +117,26 @@ def run_sweep(
     progress:
         Optional callback invoked after every completed point with
         ``(points_done, points_total, spec)``.
+    shard:
+        Optional 0-based ``(index, count)``: run only that deterministic
+        shard of ``specs`` (see :func:`~repro.sweeps.spec.shard_specs`).
+        Results cover the shard's points only; ``SweepOutcome.total`` is
+        the shard size, not the full sweep's.
+
+    When a store is given, the points this run was responsible for (the
+    shard's, under sharding) are recorded in the store's ``manifest.json``
+    before evaluation starts, so an interrupted shard still documents what
+    it owes (``ResultStore.manifest_status``).
     """
     specs = list(specs)
+    if shard is not None:
+        index, count = shard
+        specs = shard_specs(
+            specs, index, count,
+            code_salt=None if store is None else store.code_salt,
+        )
+    if store is not None:
+        store.record_expected(specs, shard=shard)
     results: list[SweepPointResult | None] = [None] * len(specs)
     cache_hits = 0
     if store is not None and resume:

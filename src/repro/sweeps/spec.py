@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import lru_cache
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -67,6 +67,8 @@ __all__ = [
     "build_network_and_routing",
     "run_software_multicast_once",
     "spec_from_dict",
+    "shard_specs",
+    "parse_shard",
 ]
 
 
@@ -154,6 +156,69 @@ def spec_from_dict(data: Mapping[str, object]) -> SweepPointSpec:
     kwargs["sim_overrides"] = tuple((k, v) for k, v in kwargs.get("sim_overrides", ()))
     known = {f.name for f in fields(SweepPointSpec)}
     return SweepPointSpec(**{k: v for k, v in kwargs.items() if k in known})
+
+
+# ----------------------------------------------------------------------
+# Multi-host sharding
+# ----------------------------------------------------------------------
+def shard_specs(
+    specs: Sequence[SweepPointSpec],
+    index: int,
+    count: int,
+    code_salt: str | None = None,
+) -> list[SweepPointSpec]:
+    """Shard ``index`` (0-based) of ``count`` disjoint shards of ``specs``.
+
+    Partitioning is by content, not position: a spec belongs to shard
+    ``int(spec_key(spec), 16) % count``.  Consequences:
+
+    * the ``count`` shards are a **disjoint cover** of any spec list — every
+      spec lands in exactly one shard;
+    * membership is **stable under spec-list reordering** (and under
+      duplicates, drops or additions of *other* specs), so two hosts that
+      build the list independently and run shards ``1/4`` and ``2/4`` never
+      evaluate the same point twice and never miss one between them;
+    * shards are only balanced statistically (hashes are uniform), not
+      exactly — fine for the embarrassingly-parallel figure grids.
+
+    ``code_salt`` must match across the participating hosts (they run the
+    same code version, so the default salt does); it only rotates which
+    shard a spec lands in, never the cover property.  Input order is
+    preserved within the shard.
+    """
+    # Imported lazily: repro.sweeps.store imports this module at load time.
+    from .store import spec_key
+
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    if count == 1:
+        return list(specs)
+    return [
+        spec
+        for spec in specs
+        if int(spec_key(spec, code_salt), 16) % count == index
+    ]
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a CLI-style ``"I/N"`` shard designator (1-based ``I``).
+
+    Returns the ``(index, count)`` pair :func:`shard_specs` expects, with
+    ``index`` converted to 0-based: ``"1/4"`` → ``(0, 4)``.
+    """
+    try:
+        one_based, count = (int(part) for part in text.split("/"))
+    except ValueError:
+        raise ValueError(
+            f"shard designator must look like I/N (e.g. 2/4), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= one_based <= count:
+        raise ValueError(
+            f"shard designator {text!r} out of range: need 1 <= I <= N"
+        )
+    return one_based - 1, count
 
 
 @dataclass(frozen=True)

@@ -8,25 +8,33 @@ Covers the satellite guarantees the subsystem exists to provide:
 * parallel and sequential runs are bit-identical under the same seeds;
 * cache hit/miss accounting and code-salt invalidation;
 * an interrupted sweep resumes by computing exactly the missing points;
-* zero-delivery points surface as explicit errors, not NaN rows.
+* zero-delivery points surface as explicit errors, not NaN rows;
+* multi-host sharding: `shard_specs` is a reorder-stable disjoint cover,
+  shards merged with `merge_stores` reproduce the unsharded figure export
+  byte for byte, manifests account for owed points, and a cleared store's
+  index is never trusted stale after a merge re-populates it.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
-from repro.errors import ZeroDeliveryError
+from repro.errors import SweepError, ZeroDeliveryError
 from repro.experiments.figure2 import Figure2Config, figure2_result_from_points, figure2_specs
-from repro.experiments.figure3 import Figure3Config, figure3_specs
+from repro.experiments.figure3 import Figure3Config, figure3_result_from_points, figure3_specs
 from repro.experiments.common import ExperimentScale, SCALES
 from repro.sweeps import (
     ResultStore,
     SweepPointResult,
     SweepPointSpec,
     evaluate_spec,
+    merge_stores,
+    parse_shard,
     run_sweep,
+    shard_specs,
     spec_key,
 )
 
@@ -273,6 +281,218 @@ class TestFigureIntegration:
         assert again.cache_hits == 1
 
 
+class TestSharding:
+    def test_disjoint_cover_for_several_shardings(self):
+        """For several (index, count) combinations, the shards partition the
+        spec list: pairwise disjoint and jointly exhaustive."""
+        specs = [replace(BASE_SPEC, workload_seed=seed) for seed in range(17)]
+        whole = sorted(spec_key(spec) for spec in specs)
+        for count in (1, 2, 3, 4, 7):
+            shards = [shard_specs(specs, index, count) for index in range(count)]
+            keys = [set(spec_key(spec) for spec in shard) for shard in shards]
+            for i in range(count):
+                for j in range(i + 1, count):
+                    assert not keys[i] & keys[j], (count, i, j)
+            assert sorted(key for shard_keys in keys for key in shard_keys) == whole
+
+    def test_membership_stable_under_reordering(self):
+        """Two hosts building the spec list in different orders agree on
+        every spec's shard (partitioning is content-addressed, not
+        positional)."""
+        specs = [replace(BASE_SPEC, workload_seed=seed) for seed in range(11)]
+        forward = shard_specs(specs, 1, 3)
+        backward = shard_specs(list(reversed(specs)), 1, 3)
+        assert {spec_key(s) for s in forward} == {spec_key(s) for s in backward}
+        # Input order is preserved within a shard.
+        assert forward == list(reversed(backward))
+
+    def test_single_shard_is_identity(self):
+        specs = [replace(BASE_SPEC, workload_seed=seed) for seed in range(5)]
+        assert shard_specs(specs, 0, 1) == specs
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_specs([BASE_SPEC], 2, 2)
+        with pytest.raises(ValueError):
+            shard_specs([BASE_SPEC], -1, 2)
+        with pytest.raises(ValueError):
+            shard_specs([BASE_SPEC], 0, 0)
+
+    def test_parse_shard(self):
+        assert parse_shard("1/4") == (0, 4)
+        assert parse_shard("4/4") == (3, 4)
+        for bad in ("0/4", "5/4", "1", "a/b", "1/0", "1/2/3"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_mixed_shard_runs_drop_the_manifest_tag(self, tmp_path):
+        """Two different shards accumulating into one store union their
+        expected keys, but the manifest's shard tag must drop to None —
+        labelling the union with the latest shard would mis-attribute the
+        other shard's owed points to it."""
+        _config, specs = small_specs((1, 4, 8, 15))
+        store = ResultStore(tmp_path / "cache")
+        store.record_expected(shard_specs(specs, 0, 2), shard=(0, 2))
+        assert store.manifest_status().shard == (0, 2)
+        store.record_expected(shard_specs(specs, 0, 2), shard=(0, 2))
+        assert store.manifest_status().shard == (0, 2)  # same tag survives
+        store.record_expected(shard_specs(specs, 1, 2), shard=(1, 2))
+        status = store.manifest_status()
+        assert status.shard is None
+        assert set(status.expected) == {store.key(spec) for spec in specs}
+
+    def test_run_sweep_shard_records_manifest(self, tmp_path):
+        _config, specs = small_specs((1, 4, 8, 15))
+        store = ResultStore(tmp_path / "cache")
+        outcome = run_sweep(specs, store=store, shard=(0, 2))
+        shard = shard_specs(specs, 0, 2, code_salt=store.code_salt)
+        assert outcome.total == len(shard)
+        status = ResultStore(tmp_path / "cache").manifest_status()
+        assert status is not None
+        assert status.shard == (0, 2)
+        assert status.complete
+        assert set(status.expected) == {store.key(spec) for spec in shard}
+
+
+class TestShardWholeDifferential:
+    """The shard/engine contract: a figure assembled from N merged shard
+    stores is byte-identical to the figure from one unsharded run."""
+
+    CONFIG = Figure3Config(
+        network_size=16,
+        multicast_degrees=(2, 4),
+        arrival_rates_per_us=(0.01, 0.02),
+        scale=SCALES["smoke"],
+    )
+
+    @staticmethod
+    def _export(config, results) -> bytes:
+        figure = figure3_result_from_points(config, results)
+        return json.dumps(figure.as_dict(), indent=2, sort_keys=True).encode()
+
+    def test_three_merged_shards_match_one_shard_byte_identically(self, tmp_path):
+        config = self.CONFIG
+        specs = figure3_specs(config)
+
+        whole = run_sweep(specs, store=ResultStore(tmp_path / "whole"))
+        whole_export = self._export(config, whole.results)
+
+        shard_stores = []
+        covered = 0
+        for index in range(3):
+            store = ResultStore(tmp_path / f"shard{index}")
+            outcome = run_sweep(specs, store=store, shard=(index, 3))
+            covered += outcome.total
+            shard_stores.append(store)
+        assert covered == len(specs)
+
+        report = merge_stores(tmp_path / "merged", *shard_stores)
+        assert report.appended == len(specs)
+        assert not report.missing
+
+        merged = run_sweep(specs, store=ResultStore(tmp_path / "merged"))
+        assert (merged.cache_hits, merged.computed) == (len(specs), 0)
+        assert self._export(config, merged.results) == whole_export
+
+
+class TestMergeStores:
+    def _result(self, seed: int, latency: float = 1.0) -> SweepPointResult:
+        return SweepPointResult(
+            spec=replace(BASE_SPEC, workload_seed=seed),
+            latencies_us=(latency,),
+            metrics=(("tree_root", 0),),
+        )
+
+    def test_salt_mismatch_rejected_with_clear_error(self, tmp_path):
+        src = ResultStore(tmp_path / "src", code_salt="elsewhere-v2")
+        src.put(self._result(1))
+        dst = ResultStore(tmp_path / "dst")
+        with pytest.raises(SweepError, match="elsewhere-v2"):
+            merge_stores(dst, src)
+
+    def test_merge_into_itself_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(self._result(1))
+        with pytest.raises(ValueError):
+            merge_stores(store, ResultStore(tmp_path / "store"))
+
+    def test_nonexistent_source_rejected(self, tmp_path):
+        """A typo'd shard path must not pass as an empty store and report a
+        successful zero-row merge."""
+        with pytest.raises(SweepError, match="does not exist"):
+            merge_stores(tmp_path / "dst", tmp_path / "no-such-shard")
+
+    def test_last_source_wins_on_key_collision(self, tmp_path):
+        first = ResultStore(tmp_path / "a")
+        second = ResultStore(tmp_path / "b")
+        first.put(self._result(1, latency=1.0))
+        second.put(self._result(1, latency=2.0))
+        dst = ResultStore(tmp_path / "dst")
+        report = merge_stores(dst, first, second)
+        assert (report.appended, report.replaced) == (1, 1)
+        assert dst.get(replace(BASE_SPEC, workload_seed=1)).latencies_us == (2.0,)
+
+    def test_merged_manifest_reports_missing_shard_points(self, tmp_path):
+        """A coordinator merging an incomplete shard sees exactly the owed
+        keys in the merged manifest."""
+        _config, specs = small_specs((1, 4, 8))
+        store = ResultStore(tmp_path / "shard")
+        store.record_expected(specs, shard=(0, 1))
+        run_sweep(specs[:2], store=store)
+        report = merge_stores(tmp_path / "merged", store)
+        missing = {store.key(spec) for spec in specs[2:]}
+        assert set(report.missing) == missing
+        status = ResultStore(tmp_path / "merged").manifest_status()
+        assert set(status.missing) == missing
+        # Completing the owed points and re-merging settles the account.
+        run_sweep(specs, store=ResultStore(tmp_path / "shard"))
+        report = merge_stores(tmp_path / "merged", ResultStore(tmp_path / "shard"))
+        assert not report.missing
+        assert ResultStore(tmp_path / "merged").manifest_status().complete
+
+
+class TestClearStaleIndex:
+    def test_clear_then_merge_rebuilds_index(self, tmp_path):
+        """Regression: after ``clear()``, a merge into the same root (by a
+        coordinator holding its own store instance) must be visible to the
+        original instance — the advisory index is rebuilt from the new
+        ``results.jsonl``, never trusted stale."""
+        spec_a = BASE_SPEC
+        spec_b = replace(BASE_SPEC, workload_seed=6)
+        src = ResultStore(tmp_path / "src")
+        src.put(evaluate_spec(spec_a))
+        src.flush_index()
+
+        store = ResultStore(tmp_path / "dst")
+        store.put(evaluate_spec(spec_b))
+        store.flush_index()
+        store.clear()
+        assert store.get(spec_b) is None
+
+        merge_stores(ResultStore(tmp_path / "dst"), src)  # a separate instance
+        # The cleared instance sees the merged row (no stale empty index)...
+        assert store.get(spec_a) is not None
+        assert store.get(spec_b) is None
+        # ...and persisting its index must not poison later opens.
+        store.flush_index()
+        assert ResultStore(tmp_path / "dst").get(spec_a) is not None
+
+    def test_flush_after_external_append_does_not_poison_index(self, tmp_path):
+        """An index flushed by an instance that missed an external append
+        must be detected as stale (its recorded size covers only what the
+        instance indexed), so the next open rescans and sees every row."""
+        spec_a, spec_b = BASE_SPEC, replace(BASE_SPEC, workload_seed=6)
+        store = ResultStore(tmp_path / "cache")
+        store.put(evaluate_spec(spec_a))
+        # Another writer appends behind this instance's back...
+        ResultStore(tmp_path / "cache").put(evaluate_spec(spec_b))
+        # ...and the stale instance persists its (older) view.
+        store.flush_index()
+        reopened = ResultStore(tmp_path / "cache")
+        assert reopened.get(spec_a) is not None
+        assert reopened.get(spec_b) is not None
+
+
 class TestSweepCli:
     def test_sweep_command_roundtrip(self, tmp_path, capsys):
         from repro.cli import main
@@ -290,6 +510,52 @@ class TestSweepCli:
         warm_out = capsys.readouterr().out
         assert "0 computed" in warm_out
         assert (tmp_path / "cold.json").read_bytes() == (tmp_path / "warm.json").read_bytes()
+
+    def test_sweep_shard_and_merge_roundtrip(self, tmp_path, capsys):
+        """CLI end-to-end: two sharded runs on disjoint cache dirs, a
+        ``sweep merge`` (sources trail ``--into``, the argparse-hostile
+        shape), then an unsharded warm run off the merged store that
+        computes nothing and exports byte-identically."""
+        from repro.cli import main
+
+        base = [
+            "--scale", "smoke", "sweep", "figure2", "--network-sizes", "16",
+        ]
+        rc = main(base + ["--cache-dir", str(tmp_path / "whole"),
+                          "--export", str(tmp_path / "whole.json")])
+        assert rc == 0
+        capsys.readouterr()
+        for index in (1, 2):
+            rc = main(base + ["--shard", f"{index}/2",
+                              "--cache-dir", str(tmp_path / f"shard{index}")])
+            assert rc == 0
+            assert f"[shard {index}/2:" in capsys.readouterr().out
+        rc = main(["sweep", "merge", "--into", str(tmp_path / "merged"),
+                   str(tmp_path / "shard1"), str(tmp_path / "shard2")])
+        assert rc == 0
+        assert "still missing" not in capsys.readouterr().out
+        rc = main(base + ["--cache-dir", str(tmp_path / "merged"),
+                          "--export", str(tmp_path / "merged.json")])
+        assert rc == 0
+        assert "0 computed" in capsys.readouterr().out
+        assert (tmp_path / "merged.json").read_bytes() == (
+            tmp_path / "whole.json"
+        ).read_bytes()
+
+    def test_sweep_merge_requires_into_and_sources(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "merge", str(tmp_path / "src")]) == 2
+        assert main(["sweep", "merge", "--into", str(tmp_path / "dst")]) == 2
+        assert main(["--scale", "smoke", "sweep", "figure2",
+                     "--into", str(tmp_path / "dst")]) == 2
+        capsys.readouterr()
+
+    def test_sweep_invalid_shard_designator(self, capsys):
+        from repro.cli import main
+
+        assert main(["--scale", "smoke", "sweep", "figure2", "--shard", "9/4"]) == 2
+        assert "shard" in capsys.readouterr().err
 
     def test_sweep_command_no_cache(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main

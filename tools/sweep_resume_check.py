@@ -11,9 +11,17 @@ the subsystem's acceptance guarantees:
    ``--resume`` re-run completes exactly the missing points with a nonzero
    cache-hit count and still reproduces the identical figure.
 
+With ``--shard I/N`` the same guarantees are asserted for one deterministic
+shard of the sweep (the CI sweep-smoke job runs a 2-shard matrix this way;
+an assembly step then merges the shard stores and compares the warm-cache
+export against the unsharded golden).  ``--golden PATH`` additionally runs
+the *full, unsharded* sweep into a throwaway store and writes its figure
+export to PATH, byte-compatible with ``repro-spam sweep ... --export``.
+
 Usage::
 
-    PYTHONPATH=src python tools/sweep_resume_check.py [--cache-dir DIR]
+    PYTHONPATH=src python tools/sweep_resume_check.py \
+        [--cache-dir DIR] [--shard I/N] [--golden PATH]
 
 Exits nonzero (AssertionError) on any violated guarantee.
 """
@@ -35,19 +43,26 @@ from repro.experiments.figure3 import (  # noqa: E402
     figure3_result_from_points,
     figure3_specs,
 )
-from repro.sweeps import ResultStore, run_sweep  # noqa: E402
+from repro.sweeps import ResultStore, parse_shard, run_sweep, shard_specs  # noqa: E402
 
 
 def export(config, outcome) -> bytes:
     figure = figure3_result_from_points(config, outcome.results)
-    return json.dumps(figure.as_dict(), indent=2, sort_keys=True).encode()
+    # Matches the bytes `repro-spam sweep ... --export` writes.
+    return (json.dumps(figure.as_dict(), indent=2, sort_keys=True) + "\n").encode()
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cache-dir", default=None,
                         help="store directory (default: a fresh temp dir)")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="check only shard I of N (1-based) of the sweep")
+    parser.add_argument("--golden", default=None, metavar="PATH",
+                        help="also run the full unsharded sweep (fresh temp store) "
+                             "and write its figure export to PATH")
     args = parser.parse_args()
+    shard = None if args.shard is None else parse_shard(args.shard)
 
     config = Figure3Config(
         network_size=32,
@@ -56,6 +71,11 @@ def main() -> int:
         scale=SCALES["smoke"],
     )
     specs = figure3_specs(config)
+    if shard is not None:
+        specs = shard_specs(specs, *shard)
+        print(f"shard {shard[0] + 1}/{shard[1]}: {len(specs)} of "
+              f"{len(figure3_specs(config))} sweep points")
+        assert specs, "shard is empty at this smoke scale; widen the grid"
 
     with tempfile.TemporaryDirectory() as tmp:
         cache_dir = Path(args.cache_dir or (Path(tmp) / "sweep-cache"))
@@ -95,6 +115,20 @@ def main() -> int:
         assert resumed.computed == len(rows) - len(kept), resumed.summary()
         assert export(config, resumed) == cold_export, "resumed export differs from cold"
         print(f"resume run: {resumed.summary()}")
+
+        # The store ends complete: its manifest must owe nothing.
+        status = ResultStore(cache_dir).manifest_status()
+        assert status is not None and status.complete, status
+        print(f"manifest:   {status.describe()}")
+
+        if args.golden:
+            golden_specs = figure3_specs(config)
+            golden = run_sweep(golden_specs, store=ResultStore(Path(tmp) / "golden-cache"))
+            assert golden.computed + golden.cache_hits == len(golden_specs)
+            golden_path = Path(args.golden)
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_bytes(export(config, golden))
+            print(f"golden unsharded export written to {golden_path}")
 
     print("sweep resume check PASSED")
     return 0
