@@ -6,7 +6,7 @@ paper-scale configurations are to regenerate.  pytest-benchmark runs the same
 broadcast repeatedly, so this is also the benchmark to watch when optimising
 the simulator's hot path.
 
-Four kinds of scenario are exercised:
+Five kinds of scenario are exercised:
 
 * the seed scenarios (64 switches, 64-flit worms) kept verbatim so numbers
   stay comparable across PRs,
@@ -14,8 +14,14 @@ Four kinds of scenario are exercised:
   streaming dominates and the engine's event-coalescing fast path pays off,
 * Figure-3-style mixed-traffic scenarios (128 switches, 90 % unicast / 10 %
   multicast, Poisson and negative-binomial arrivals) — the workloads that
-  motivated the phase-staggered and bubble-periodic coalescing modes, and
-  the profile used to tune ``_MIN_BATCH_TICKS`` and the probe backoff,
+  motivated the phase-staggered and bubble-periodic coalescing modes, the
+  profile used to tune ``_MIN_BATCH_TICKS`` and the probe backoff, and (at
+  the paper's 128-flit length) the churn regime whose probe-economics
+  counters (verify failures, drain bails, generic bails) the snapshot
+  records,
+* slow-channel scenarios (``channel_latency_factors``): worms behind a 2x
+  or 3x injection bottleneck stream at rate 1/k and exercise the
+  multi-period (every-k-th-window) coalescing mode,
 * an explicit fast-path vs. reference comparison that asserts bit-identical
   delivery timestamps and records the measured speedups to
   ``benchmarks/results/simulator_throughput.json`` (the committed
@@ -241,10 +247,12 @@ def test_fast_path_speedup_and_equivalence(
     # Figure-3 mixed traffic: the workloads the phase-staggered and
     # bubble-periodic coalescing modes were built for.  ``sync_only`` runs
     # the fast path with both new modes disabled, so the recorded numbers
-    # separate their contribution from PR 1's synchronized coalescing; the
-    # 512-flit variants are where streaming dominates and the new modes pay
-    # (the paper-length 128-flit runs are churn-dominated — the modes are
-    # roughly cost-neutral there and are recorded to keep them honest).
+    # separate their contribution from PR 1's synchronized coalescing.  The
+    # 512-flit variants are where streaming dominates and those modes pay;
+    # the paper-length 128-flit runs are churn-dominated — their
+    # probe-economics counters are recorded so the churn-regime trajectory
+    # (verify failures down, drain bails engaged, speedup vs reference up)
+    # stays visible across PRs.
     network, routing, workloads, base_config = figure3_setup
     for arrival, workload in workloads.items():
         for flits in (base_config.message_length_flits, 512):
@@ -264,6 +272,10 @@ def test_fast_path_speedup_and_equivalence(
             assert fast_sim.stats.bubbles_created == ref_sim.stats.bubbles_created
             assert fast_sim.stats.end_time_ns == ref_sim.stats.end_time_ns
             assert fast_sim.coalesced_ticks > 0
+            # Homogeneous latencies: the probe must never pay for (or find)
+            # a compound period — see docs/fast_path.md.
+            assert fast_sim.coalesce_multi_period_batches == 0
+            assert set(fast_sim.coalesce_k_histogram) <= {1}
 
             hops = fast_sim.stats.flit_hops
             scenarios.append(
@@ -281,6 +293,11 @@ def test_fast_path_speedup_and_equivalence(
                     "coalesced_ticks": fast_sim.coalesced_ticks,
                     "coalesced_stagger_ticks": fast_sim.coalesced_stagger_ticks,
                     "coalesced_bubble_ticks": fast_sim.coalesced_bubble_ticks,
+                    "coalesce_snapshots": fast_sim.coalesce_snapshots,
+                    "coalesce_batches": fast_sim.coalesce_batches,
+                    "coalesce_verify_failures": fast_sim.coalesce_verify_failures,
+                    "coalesce_generic_bails": fast_sim.coalesce_generic_bails,
+                    "coalesce_drain_bails": fast_sim.coalesce_drain_bails,
                 }
             )
             if os.environ.get("REPRO_BENCH_STRICT") and flits == 512:
@@ -289,6 +306,65 @@ def test_fast_path_speedup_and_equivalence(
                 assert sync_s / fast_s >= 1.1, (
                     f"{arrival}@512f: modes speedup {sync_s / fast_s:.2f}x < 1.1x"
                 )
+
+    # Slow-channel scenarios: a 2x/3x injection bottleneck throttles the
+    # worm to rate 1/k — the multi-period (every-k-th-window) coalescing
+    # regime.  The reference engine pays one heap event per flit per hop
+    # regardless; the fast path replays whole compound periods.
+    network, routing, _ = broadcast_setup
+    processors = network.processors()
+    for factor in (2, 3):
+        flits = 512
+        factors = ((network.injection_channel(processors[0]).cid, factor),)
+        config = SimulationConfig(
+            message_length_flits=flits, channel_latency_factors=factors
+        )
+        ref_config = config.with_overrides(fast_path=False)
+
+        def _slow_once(cfg):
+            simulator = WormholeSimulator(network, routing, cfg)
+            simulator.submit_message(
+                processors[0], [processors[17], processors[29]]
+            )
+            simulator.run()
+            return simulator
+
+        fast_s = ref_s = float("inf")
+        fast_sim = None
+        for _ in range(3):
+            start = time.perf_counter()
+            fast_sim = _slow_once(config)
+            fast_s = min(fast_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            ref_sim = _slow_once(ref_config)
+            ref_s = min(ref_s, time.perf_counter() - start)
+
+        assert {m: dict(msg.delivered_ns) for m, msg in fast_sim.messages.items()} == {
+            m: dict(msg.delivered_ns) for m, msg in ref_sim.messages.items()
+        }
+        assert fast_sim.stats.flit_hops == ref_sim.stats.flit_hops
+        assert fast_sim.stats.end_time_ns == ref_sim.stats.end_time_ns
+        assert fast_sim.coalesce_multi_period_batches > 0
+        assert factor in fast_sim.coalesce_k_histogram
+
+        hops = fast_sim.stats.flit_hops
+        scenarios.append(
+            {
+                "scenario": f"slow_channel_x{factor}_64sw_{flits}f",
+                "message_length_flits": flits,
+                "flit_hops": hops,
+                "fast_seconds": round(fast_s, 6),
+                "reference_seconds": round(ref_s, 6),
+                "fast_flit_hops_per_sec": round(hops / fast_s),
+                "reference_flit_hops_per_sec": round(hops / ref_s),
+                "speedup": round(ref_s / fast_s, 2),
+                "coalesced_ticks": fast_sim.coalesced_ticks,
+                "coalesce_multi_period_batches": fast_sim.coalesce_multi_period_batches,
+                "coalesce_k_histogram": {
+                    str(k): v for k, v in sorted(fast_sim.coalesce_k_histogram.items())
+                },
+            }
+        )
 
     payload = {
         "benchmark": "simulator_throughput",

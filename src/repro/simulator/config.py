@@ -77,6 +77,30 @@ class SimulationConfig:
         emission from blocked multicast branches (the bubble signature —
         buffer contents, creation count, trace records — must repeat
         exactly).  Ignored when ``fast_path`` is off.
+    coalesce_multi_period:
+        Allow the fast path to coalesce *multi-period* steady states: a
+        window whose activity is self-similar with period
+        ``k × channel_latency_ns`` for some ``k ≤ coalesce_k_max`` — the
+        regime behind a rate bottleneck such as a slow channel (see
+        ``channel_latency_factors``), where every link upstream of the
+        bottleneck fires every k-th window.  The probe tries k in
+        ascending order before declaring a verify failure.  Ignored when
+        ``fast_path`` is off.
+    coalesce_k_max:
+        Largest compound period (in channel periods) the multi-period
+        probe will try; ``K_MAX`` in ``docs/fast_path.md``.  Larger values
+        deepen the state closure the probe snapshots, so keep this small
+        (the default covers the 2× and 3× slow channels that produce
+        multi-period patterns in practice).  Ignored when
+        ``coalesce_multi_period`` is off.
+    channel_latency_factors:
+        Per-channel latency multipliers ``((cid, factor), ...)``: channel
+        ``cid`` forwards one flit per ``factor × channel_latency_ns``
+        instead of the base period, modelling a degraded or long link in
+        an irregular topology.  Factors are positive integers so event
+        timestamps stay on the base grid.  A slow channel throttles its
+        whole worm to rate ``1/factor`` — the canonical source of
+        every-k-th-window steady states (``coalesce_multi_period``).
     """
 
     startup_latency_ns: int = 10_000
@@ -92,6 +116,9 @@ class SimulationConfig:
     fast_path: bool = True
     coalesce_stagger: bool = True
     coalesce_bubbles: bool = True
+    coalesce_multi_period: bool = True
+    coalesce_k_max: int = 3
+    channel_latency_factors: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.startup_latency_ns < 0:
@@ -106,6 +133,32 @@ class SimulationConfig:
             raise ConfigurationError("buffer depths must be at least one flit")
         if self.max_hops < 2:
             raise ConfigurationError("max_hops must be at least 2")
+        if self.coalesce_k_max < 1:
+            raise ConfigurationError("coalesce_k_max must be at least 1")
+        seen_cids = set()
+        for entry in self.channel_latency_factors:
+            try:
+                cid, factor = entry
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    "channel_latency_factors entries must be (cid, factor) pairs"
+                ) from None
+            if cid != int(cid) or cid < 0:
+                raise ConfigurationError(
+                    f"channel id {cid!r} must be a non-negative integer"
+                )
+            if factor != int(factor) or factor < 1:
+                # Integral factors keep every event timestamp on the base
+                # channel-period grid (the invariant the fast path's modular
+                # arithmetic relies on).
+                raise ConfigurationError(
+                    f"latency factor for channel {cid} must be an integer >= 1"
+                )
+            if cid in seen_cids:
+                raise ConfigurationError(
+                    f"channel id {cid} appears more than once in channel_latency_factors"
+                )
+            seen_cids.add(cid)
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """A copy of the configuration with the given fields replaced."""

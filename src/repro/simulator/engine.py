@@ -37,7 +37,7 @@ counters, busy-time accounting, trace records and the pending transfer
 deadlines are all advanced in O(links) instead of O(k × links) heap events.
 ``k`` is capped so the batch ends strictly before the first non-transfer
 event, before any head or tail flit would move, and before a bounded run's
-window boundary.  Three steady-state patterns coalesce:
+window boundary.  Four steady-state patterns coalesce:
 
 * **synchronized body streaming** — every pending transfer completes at the
   same deadline and every wire flit is a body flit shifted by exactly one
@@ -52,7 +52,15 @@ window boundary.  Three steady-state patterns coalesce:
   (asynchronous replication); the window is self-similar *including* its
   bubble signature: bubble buffer contents are bit-identical, and the
   bubble-creation count, per-link bubble counters and ``bubble`` trace
-  records advance by the same fixed amount every period.
+  records advance by the same fixed amount every period;
+* **multi-period streaming** (``SimulationConfig.coalesce_multi_period``) —
+  behind a rate bottleneck such as a slow channel
+  (``SimulationConfig.channel_latency_factors``), links fire every k-th
+  window instead of every window; the probe tries compound periods
+  ``k × channel_latency_ns`` for ``k`` up to
+  ``SimulationConfig.coalesce_k_max``, verifying self-similarity over the
+  whole compound window (per-slot sequence advances measured, not
+  assumed) and replaying whole compound periods arithmetically.
 
 **Equivalence guarantee:** because the verification window *is* the
 reference execution and self-similarity is checked structurally (buffer
@@ -63,10 +71,12 @@ bit-identical to a run with ``fast_path=False``.  The trace-equivalence
 tests in ``tests/test_fast_path.py`` assert this on the Figure 1 network and
 on irregular lattice networks, including scenarios with
 asynchronous-replication bubbles, OCRQ contention, Poisson and
-negative-binomial arrivals, phase-staggered worms and bounded ``run_for``
-windows.  Anything the verifier cannot prove self-similar simply runs on
-the per-flit substrate.  ``docs/fast_path.md`` specifies the contract in
-full, including how to add a new coalescible pattern safely.
+negative-binomial arrivals, phase-staggered worms, slow channels and
+bounded ``run_for`` windows.  Anything the verifier cannot prove
+self-similar simply runs on the per-flit substrate.  ``docs/fast_path.md``
+specifies the contract in full, including how to add a new coalescible
+pattern safely; every ``coalesce_*`` observability counter the engine
+exposes is documented in ``docs/engine_counters.md``.
 """
 
 from __future__ import annotations
@@ -85,7 +95,7 @@ from .events import EventQueue
 from .flit import Flit, FlitKind
 from .links import LinkState
 from .message import Message
-from .router import SourceInterface, WormSegment
+from .router import SegmentState, SourceInterface, WormSegment
 from .stats import ChannelRecord, SimulationStats
 from .trace import Trace, TraceEvent
 
@@ -100,12 +110,16 @@ CompletionCallback = Callable[[Message], None]
 #: below this the snapshot/verify overhead exceeds the saved heap traffic.
 _MIN_BATCH_TICKS = 4
 
-#: Ticks to wait before re-probing after a failed self-similarity check.
-#: Failures cluster in churn phases (head crawls, drains, bubble storms)
-#: where re-snapshotting every tick would cost more than it saves; repeated
-#: failures double the backoff up to the cap below.
-_COALESCE_BACKOFF_TICKS = 8
-_COALESCE_BACKOFF_MAX_TICKS = 64
+#: Ticks to wait before re-probing after a failed self-similarity check (or
+#: a drain bail).  Failures cluster in churn phases (head crawls, drains,
+#: bubble storms) where re-snapshotting every tick would cost more than it
+#: saves; repeated failures double the backoff up to the cap below.  PR 5
+#: re-tuned the pair from 8/64 down to 4/32: the drain bails reject most
+#: doomed windows before the snapshot, so retrying sooner is now cheap and
+#: wins ~8-10% end to end on paper-length (128-flit) mixed traffic — see
+#: the ``tuning`` section of ``BENCH_simulator_throughput.json``.
+_COALESCE_BACKOFF_TICKS = 4
+_COALESCE_BACKOFF_MAX_TICKS = 32
 
 
 class WormholeSimulator:
@@ -144,15 +158,22 @@ class WormholeSimulator:
         self.routing = routing
         self.config = config or SimulationConfig()
         self.events = EventQueue()
+        latency_factors = dict(self.config.channel_latency_factors)
         self.links: list[LinkState] = [
             LinkState(
                 channel,
-                latency_ns=self.config.channel_latency_ns,
+                latency_ns=self.config.channel_latency_ns
+                * int(latency_factors.get(channel.cid, 1)),
                 output_depth=self.config.output_buffer_depth,
                 input_depth=self.config.input_buffer_depth,
             )
             for channel in network.channels()
         ]
+        unknown = [cid for cid in latency_factors if not 0 <= cid < len(self.links)]
+        if unknown:
+            raise ConfigurationError(
+                f"channel_latency_factors name unknown channel ids {sorted(unknown)}"
+            )
         self.sources: dict[int, SourceInterface] = {}
         for processor in network.processors():
             injection = self.links[network.injection_channel(processor).cid]
@@ -168,6 +189,22 @@ class WormholeSimulator:
         self._collect_stats = self.config.collect_channel_stats
         self._coalesce_stagger = self.config.coalesce_stagger
         self._coalesce_bubbles = self.config.coalesce_bubbles
+        #: Largest compound period (in channel periods) the probe will try;
+        #: 1 collapses every multi-period code path back to single-window
+        #: probing.  Multi-period patterns require a sub-unit-rate
+        #: bottleneck, and on a homogeneous-latency network there is none:
+        #: deadlock-free wormhole routing keeps the buffer-dependency graph
+        #: acyclic, so in a generic-free window every moving link fires
+        #: every window (rate 1) or not at all.  The probe therefore only
+        #: pays for multi-period candidates when some channel actually has
+        #: a different latency (``channel_latency_factors``).
+        base_latency = self.config.channel_latency_ns
+        heterogeneous = any(link.latency_ns != base_latency for link in self.links)
+        self._coalesce_k_max = (
+            self.config.coalesce_k_max
+            if self.config.coalesce_multi_period and heterogeneous
+            else 1
+        )
         # Fast-path bookkeeping: earliest time a coalesce attempt is allowed.
         # Each tick is probed at most once, and an attempt that paid for a
         # snapshot but failed verification backs off for a few ticks (failed
@@ -195,7 +232,28 @@ class WormholeSimulator:
         #: Probes rejected in O(1) because the EventQueue-maintained earliest
         #: generic deadline sat too close for a worthwhile batch — the cheap
         #: exit for churn phases, taken before any heap scan or snapshot.
+        #: Counted at most once per probe, however many compound periods the
+        #: multi-period extension would have tried.
         self.coalesce_generic_bails = 0
+        #: Probes rejected during the cheap scan because a pending wire flit
+        #: is the last one queued on its link and the feeder provably cannot
+        #: refill the output buffer (worm drains: a finished upstream
+        #: segment, an exhausted source NI).  Such a window can never verify
+        #: at any period, so the probe skips the snapshot it would have
+        #: wasted and takes the same backoff a verify failure would.
+        self.coalesce_drain_bails = 0
+        #: Of :attr:`coalesce_batches`, how many replayed a compound period
+        #: of two or more channel periods (the multi-period pattern).
+        self.coalesce_multi_period_batches = 0
+        #: Batches by verified period: ``{k: batches}`` where ``k`` is the
+        #: compound period in channel periods.  Homogeneous-latency networks
+        #: under deadlock-free routing only ever record ``k == 1`` (see
+        #: ``docs/fast_path.md``); slow channels produce higher keys.
+        self.coalesce_k_histogram: dict[int, int] = {}
+        #: Tail deliveries recorded so far (cheap sentinel the fast-path
+        #: verifier compares to prove no destination was reached inside a
+        #: probed window; not an observable result).
+        self._delivery_count = 0
 
     # ------------------------------------------------------------------
     # Time and scheduling helpers
@@ -338,13 +396,22 @@ class WormholeSimulator:
     # Steady-state coalescing fast path
     # ------------------------------------------------------------------
     def _coalesce_tick(self, t0: int, until_ns: int | None) -> bool:
-        """Attempt to coalesce the steady-state period window starting at
-        ``t0`` (every event in ``[t0, t0 + channel_latency_ns)``).
+        """Attempt to coalesce the steady-state pattern starting at ``t0``.
 
-        Returns ``True`` when the window was executed here (through the
-        ordinary per-flit machinery) — whether or not a batch advance
-        followed.  Returns ``False`` without touching any state when the
-        preconditions fail cheaply; the caller then pops events normally.
+        The probe executes whole period windows ``[t0, t0 + k·L)`` (where
+        ``L = channel_latency_ns``) through the ordinary per-flit machinery
+        and checks, for ascending candidate periods ``k``, whether the
+        executed span is *self-similar with period k·L*; the first period
+        that verifies is replayed arithmetically.  ``k = 1`` is the
+        single-window probe of PR 1/2; larger periods (up to
+        ``SimulationConfig.coalesce_k_max``) recognise multi-period
+        patterns — links firing every k-th window behind a rate bottleneck
+        such as a slow channel.
+
+        Returns ``True`` when at least one window was executed here —
+        whether or not a batch advance followed.  Returns ``False`` without
+        touching any state when the preconditions fail cheaply; the caller
+        then pops events normally.
         """
         events = self.events
         latency = self.config.channel_latency_ns
@@ -358,35 +425,63 @@ class WormholeSimulator:
         # already below the worthwhile minimum — the dominant rejection in
         # churn phases, where submits/decisions/acquisitions queue close by —
         # the probe exits before paying for any heap scan or snapshot.
+        # Counted at most once per probe: the per-k room caps below merely
+        # shrink k_limit without touching the counter again.
         generic_times = events._generic_times
         t_other: int | None = generic_times[0] if generic_times else None
         if t_other is not None and (t_other - 1 - t0) // latency < _MIN_BATCH_TICKS + 1:
             self.coalesce_generic_bails += 1
             return False
+        # -- Largest compound period worth probing here: a k-period batch
+        # must execute k reference windows and replay at least one compound
+        # window with m·k >= _MIN_BATCH_TICKS, i.e. ceil(MIN/k)·k more
+        # windows, all strictly before the first generic deadline and
+        # inside a bounded run's window.
+        k_limit = self._coalesce_k_max
+        if k_limit > 1:
+
+            def fits(k: int, room: int) -> bool:
+                replay = ((_MIN_BATCH_TICKS + k - 1) // k) * k
+                return k + replay <= room
+
+            if t_other is not None:
+                room = (t_other - 1 - t0) // latency
+                while k_limit > 1 and not fits(k_limit, room):
+                    k_limit -= 1
+            if until_ns is not None:
+                room = (until_ns - t0) // latency
+                while k_limit > 1 and not fits(k_limit, room):
+                    k_limit -= 1
+        horizon = window_end if k_limit == 1 else t0 + k_limit * latency
         # -- Cheap scan (unsorted): every pending transfer must complete
-        # within the period window (at exactly t0 unless phase-staggered
-        # windows are allowed), every wire flit must be a body flit (or a
-        # bubble, when bubble-periodic windows are allowed), and the batch
-        # can extend at most until the first body flit would become a tail.
-        # This rejects head crawls and worm-drain phases before paying for a
-        # sort or a snapshot.
+        # within the probe horizon (k_limit windows), off-grid deadlines
+        # need phase-staggered windows enabled, every wire flit must be a
+        # body flit (or a bubble, when bubble-periodic windows are allowed),
+        # and a wire flit that is the last one queued must have a feeder
+        # that can still refill the buffer.  This rejects head crawls and
+        # worm-drain phases before paying for a sort or a snapshot.
         messages = self.messages
         allow_stagger = self._coalesce_stagger
         allow_bubbles = self._coalesce_bubbles
         d_max = t0
+        off_class = False
         flit_cap: int | None = None
         for time_ns, _seq, kind, payload in events._heap:
             if not kind:
                 continue
             if time_ns != t0:
-                if not allow_stagger or time_ns >= window_end:
+                if time_ns >= horizon:
                     return False
+                if (time_ns - t0) % latency:
+                    if not allow_stagger:
+                        return False
+                    off_class = True
                 if time_ns > d_max:
                     d_max = time_ns
-            out = payload.out_buffer
-            if not out._slots:
+            out_slots = payload.out_buffer._slots
+            if not out_slots:
                 return False
-            flit = out._slots[0]
+            flit = out_slots[0]
             flit_kind = flit.kind
             if flit_kind is FlitKind.BODY:
                 limit = messages[flit.message_id].length_flits - 2 - flit.seq
@@ -394,6 +489,50 @@ class WormholeSimulator:
                     flit_cap = limit
             elif flit_kind is not FlitKind.BUBBLE or not allow_bubbles:
                 return False
+            in_buffer = payload.in_buffer
+            if len(in_buffer._slots) >= in_buffer.capacity:
+                # -- Drain bail (blocked receiver): the receiving input
+                # buffer is full and its segment cannot drain it (it is
+                # still waiting on router setup or channel acquisition), so
+                # the wire cannot restart after this completion.  The only
+                # escape is an acquisition, which changes segment state and
+                # fails verification just as surely — so the probe skips
+                # the doomed snapshot.  The worm parked behind an OCRQ wait
+                # or a crawling head looks exactly like this.
+                sink = payload.sink_segment
+                if sink is None or sink.state is not SegmentState.ACTIVE:
+                    return self._coalesce_drain_bail(t0, latency)
+            if len(out_slots) == 1:
+                # -- Drain bail: the wire flit is the last one queued and the
+                # feeder provably cannot refill the buffer, so the link goes
+                # idle after this completion and the window can never verify
+                # at any period.  Detecting it here skips the doomed snapshot
+                # (the dominant paid-verify failure during worm drains) but
+                # still takes the verify-failure backoff, because a drain is
+                # exactly the churn the backoff exists to wait out.
+                feeder = payload.feeder
+                if feeder is None:
+                    return self._coalesce_drain_bail(t0, latency)
+                if type(feeder) is SourceInterface:
+                    current = feeder.current
+                    if current is None or feeder.next_seq >= current.length_flits - 1:
+                        # Nothing, or only the tail, left to pump: either the
+                        # buffer never refills, or the injection finishes and
+                        # the NI visibly changes message state mid-window.
+                        return self._coalesce_drain_bail(t0, latency)
+                elif feeder.state is SegmentState.DONE or (
+                    k_limit == 1
+                    and not feeder.in_link.busy
+                    and not feeder.in_link.in_buffer._slots
+                ):
+                    # A finished segment never writes again at any period; an
+                    # idle, empty feed is only a proof for the single-window
+                    # probe (a flit may still arrive in a later sub-window of
+                    # a compound period).
+                    return self._coalesce_drain_bail(t0, latency)
+        # -- Economics precheck (exact caps are recomputed per verified
+        # period below; for k > 1 these single-period bounds are simply
+        # conservative).
         cap = flit_cap
         if t_other is not None:
             # Every replayed window must end strictly before the first
@@ -412,6 +551,8 @@ class WormholeSimulator:
             # feeds the bubbles can only resolve through an event this scan
             # cannot see, so never replay it arithmetically.
             return False
+        # Smallest period covering every pending deadline.
+        k_min = 1 if d_max < window_end else (d_max - t0) // latency + 1
         # Pending transfers in per-flit completion order: (deadline, link,
         # whether the wire flit is a bubble).
         moving = [
@@ -420,31 +561,39 @@ class WormholeSimulator:
             if entry[2]
         ]
 
-        # -- Snapshot the closure of state the window can touch: the moving
-        # links themselves plus every buffer their sink segments replicate
-        # into and their feeders drain from.
+        # -- Snapshot the closure of state the probe can touch.  One
+        # expansion (the moving links plus every buffer their sink segments
+        # replicate into and their feeders drain from) covers a single
+        # window; each further window can reach one expansion more, so the
+        # closure is expanded k_limit times.
         self.coalesce_snapshots += 1
         closure: dict[LinkState, None] = {}
         segments: dict[WormSegment, None] = {}
         interfaces: dict[SourceInterface, None] = {}
+        frontier: list[LinkState] = []
         for _time, link, _bubble in moving:
-            closure[link] = None
-            sink = link.sink_segment
-            if sink is not None:
-                segments[sink] = None
-                closure[sink.in_link] = None
-                for out_link in sink.outputs:
-                    closure[out_link] = None
-            feeder = link.feeder
-            if feeder is None:
-                continue
-            if isinstance(feeder, SourceInterface):
-                interfaces[feeder] = None
-            else:
-                segments[feeder] = None
-                closure[feeder.in_link] = None
-                for out_link in feeder.outputs:
-                    closure[out_link] = None
+            if link not in closure:
+                closure[link] = None
+                frontier.append(link)
+        for _depth in range(k_limit):
+            grown: list[LinkState] = []
+            for link in frontier:
+                for party in (link.sink_segment, link.feeder):
+                    if party is None:
+                        continue
+                    if type(party) is SourceInterface:
+                        interfaces[party] = None
+                        continue
+                    if party in segments:
+                        continue
+                    segments[party] = None
+                    for other in (party.in_link, *party.outputs):
+                        if other not in closure:
+                            closure[other] = None
+                            grown.append(other)
+            if not grown:
+                break
+            frontier = grown
 
         def link_snap(link: LinkState):
             return (
@@ -465,161 +614,282 @@ class WormholeSimulator:
             (ni, ni.current, ni.next_seq, len(ni.queue)) for ni in interfaces
         ]
         stats = self.stats
+        collect = self._collect_stats
+        pre_flit_hops = stats.flit_hops
         pre_bubbles = stats.bubbles_created
-        pre_counters = (stats.messages_completed, len(self._segments))
+        pre_counters = (
+            stats.messages_completed,
+            len(self._segments),
+            self._delivery_count,
+        )
         trace = self.trace
         pre_trace_len = len(trace.events) if trace is not None else 0
-        pre_heap_len = len(events._heap)
+        pre_generic_len = len(generic_times)
+        # Per-link statistics baselines, needed only if a multi-period batch
+        # replays (a verified single window implies one flit of the scanned
+        # kind per moving link and continuous wire busyness, so k == 1 keeps
+        # the cheaper closed-form advance).
+        pre_link_stats = (
+            [
+                (
+                    link,
+                    link.data_flits_carried,
+                    link.bubble_flits_carried,
+                    link.busy_total_ns,
+                    link.busy_since_ns,
+                )
+                for link in closure
+            ]
+            if collect and k_limit > 1
+            else None
+        )
 
-        # -- Execute the window exactly as the reference per-flit engine
-        # would.  Body/bubble completions never schedule a generic event and
-        # reschedule their transfers one full period out, so nothing new can
-        # land inside the window; a generic that does fire here was already
-        # pending and disqualifies the window (after running, as reference).
         complete_transfer = self._complete_transfer
         pop_entry = events.pop_entry
         heap = events._heap
-        executed_generic = False
-        while heap and heap[0][0] < window_end:
-            entry = pop_entry()
-            if entry[2]:
-                complete_transfer(entry[3])
-            else:  # pragma: no cover - rejected by the t_other cap above
-                executed_generic = True
-                entry[3]()
-
-        # -- Verify the window was self-similar; any mismatch means the
-        # per-flit execution (which just ran) simply continues event by event.
         count = len(moving)
-        if (
-            executed_generic
-            or events._transfer_pending != count
-            or len(heap) != pre_heap_len
-        ):
-            return self._coalesce_backoff(t0, latency)
-        if (stats.messages_completed, len(self._segments)) != pre_counters:
-            return self._coalesce_backoff(t0, latency)
-        bubble_rate = stats.bubbles_created - pre_bubbles
-        if bubble_rate and not allow_bubbles:
-            return self._coalesce_backoff(t0, latency)
-        post_transfers = sorted(entry for entry in heap if entry[2])
-        for entry, (pre_time, link, _bubble) in zip(post_transfers, moving):
-            if entry[0] != pre_time + latency or entry[3] is not link:
-                return self._coalesce_backoff(t0, latency)
-        for seg, state, head_replicated, outputs, required in pre_segments:
+
+        def examine(k: int):
+            """Compare the current state against the snapshot shifted by
+            ``k`` periods.  Returns ``("ok", plan)`` when self-similar,
+            ``("retry", None)`` for mismatches a longer compound period
+            could still close (mid-pattern sub-windows), and
+            ``("abort", None)`` for permanent transitions (segment
+            lifecycle, NI message changes, generics, deliveries) that no
+            period can make periodic."""
+            shift = k * latency
             if (
-                seg.state is not state
-                or seg.head_replicated != head_replicated
-                or tuple(seg.outputs) != outputs
-                or tuple(seg.required) != required
-            ):
-                return self._coalesce_backoff(t0, latency)
-        messages = self.messages
-        bound: int | None = None
-        pushing: list[SourceInterface] = []
-        for ni, current, next_seq, backlog in pre_interfaces:
-            if ni.current is not current or len(ni.queue) != backlog:
-                return self._coalesce_backoff(t0, latency)
-            if ni.next_seq == next_seq + 1:
-                if current is None:
-                    return self._coalesce_backoff(t0, latency)
-                limit = current.length_flits - 1 - ni.next_seq
-                if bound is None or limit < bound:
-                    bound = limit
-                pushing.append(ni)
-            elif ni.next_seq != next_seq:
-                return self._coalesce_backoff(t0, latency)
-        shifting: list[tuple[object, tuple]] = []
-        for link, snap in pre_links:
-            busy, reserved_by, feeder, sink, out_flits, in_flits = snap
-            if (
-                link.busy != busy
-                or link.reserved_by != reserved_by
-                or link.feeder is not feeder
-                or link.sink_segment is not sink
-            ):
-                return self._coalesce_backoff(t0, latency)
-            for pre_flits, buffer in ((out_flits, link.out_buffer), (in_flits, link.in_buffer)):
-                post_flits = tuple(
-                    (f.kind, f.message_id, f.seq) for f in buffer.flits()
-                )
-                if post_flits == pre_flits:
-                    # Unchanged contents: either the buffer was not touched,
-                    # or a bubble was re-emitted with the identical signature
-                    # (bubbles reuse the stalled data flit's sequence number,
-                    # so a periodic bubble stream is a fixed point here).
-                    continue
-                if len(post_flits) != len(pre_flits):
-                    return self._coalesce_backoff(t0, latency)
-                for (kind0, mid0, seq0), (kind1, mid1, seq1) in zip(pre_flits, post_flits):
-                    if (
-                        kind1 is not FlitKind.BODY
-                        or kind0 is not FlitKind.BODY
-                        or mid1 != mid0
-                        or seq1 != seq0 + 1
-                    ):
-                        return self._coalesce_backoff(t0, latency)
-                for _kind, mid, seq in post_flits:
-                    limit = messages[mid].length_flits - 2 - seq
+                stats.messages_completed,
+                len(self._segments),
+                self._delivery_count,
+            ) != pre_counters:
+                return "abort", None
+            if len(generic_times) != pre_generic_len:
+                return "abort", None
+            bubble_rate = stats.bubbles_created - pre_bubbles
+            if bubble_rate and not allow_bubbles:
+                return "abort", None
+            for seg, state, head_replicated, outputs, required in pre_segments:
+                if (
+                    seg.state is not state
+                    or seg.head_replicated != head_replicated
+                    or tuple(seg.outputs) != outputs
+                    or tuple(seg.required) != required
+                ):
+                    return "abort", None
+            if events._transfer_pending != count:
+                return "retry", None
+            post_transfers = sorted(entry for entry in heap if entry[2])
+            for entry, (pre_time, link, _bubble) in zip(post_transfers, moving):
+                if entry[0] != pre_time + shift or entry[3] is not link:
+                    return "retry", None
+            bound: int | None = None
+            ni_deltas: list[tuple[SourceInterface, int]] = []
+            for ni, current, next_seq, backlog in pre_interfaces:
+                if ni.current is not current or len(ni.queue) != backlog:
+                    return "abort", None
+                delta = ni.next_seq - next_seq
+                if delta:
+                    if current is None or delta < 0 or delta > k:
+                        return "abort", None
+                    limit = (current.length_flits - 1 - ni.next_seq) // delta
                     if bound is None or limit < bound:
                         bound = limit
-                shifting.append((buffer, post_flits))
+                    ni_deltas.append((ni, delta))
+            shifting: list[tuple[object, tuple, list[int]]] = []
+            for link, snap in pre_links:
+                busy, reserved_by, feeder, sink, out_flits, in_flits = snap
+                if (
+                    link.reserved_by != reserved_by
+                    or link.feeder is not feeder
+                    or link.sink_segment is not sink
+                ):
+                    return "abort", None
+                if link.busy != busy:
+                    return "retry", None
+                for pre_flits, buffer in (
+                    (out_flits, link.out_buffer),
+                    (in_flits, link.in_buffer),
+                ):
+                    post_flits = tuple(
+                        (f.kind, f.message_id, f.seq) for f in buffer.flits()
+                    )
+                    if post_flits == pre_flits:
+                        # Unchanged contents: either the buffer was not
+                        # touched, or a bubble was re-emitted with the
+                        # identical signature (bubbles reuse the stalled
+                        # data flit's sequence number, so a periodic bubble
+                        # stream is a fixed point here).
+                        continue
+                    if len(post_flits) != len(pre_flits):
+                        return "retry", None
+                    deltas: list[int] = []
+                    for (kind0, mid0, seq0), (kind1, mid1, seq1) in zip(
+                        pre_flits, post_flits
+                    ):
+                        delta = seq1 - seq0
+                        if (
+                            kind1 is not kind0
+                            or mid1 != mid0
+                            or delta < 0
+                            or delta > k
+                            or (delta and kind1 is not FlitKind.BODY)
+                        ):
+                            return "retry", None
+                        if delta:
+                            limit = (messages[mid1].length_flits - 2 - seq1) // delta
+                            if bound is None or limit < bound:
+                                bound = limit
+                        deltas.append(delta)
+                    shifting.append((buffer, post_flits, deltas))
+            if pre_link_stats is not None and k > 1:
+                # Busy-period bookkeeping is part of multi-period
+                # self-similarity: an open period must have slid forward by
+                # exactly one compound period (the single-window case is
+                # implied by the transfer-set check above).
+                for link, _data0, _bubble0, _busy0, since0 in pre_link_stats:
+                    post_since = link.busy_since_ns
+                    if since0 is None:
+                        if post_since is not None:
+                            return "retry", None
+                    elif post_since != since0 + shift:
+                        return "retry", None
+            return "ok", (shifting, ni_deltas, bound, bubble_rate)
 
-        # -- Batch advance: replay k further identical windows arithmetically.
-        if bound is None:
-            if cap is None:
-                return self._coalesce_backoff(t0, latency)
-            k = cap
-        else:
-            k = bound if cap is None else min(bound, cap)
-        if k < _MIN_BATCH_TICKS:
-            return self._coalesce_backoff(t0, latency)
-        advance = k * latency
-        stats.flit_hops += k * count
-        stats.bubbles_created += k * bubble_rate
-        if self._collect_stats:
-            for _time, link, bubble in moving:
-                link.fast_forward(k, advance, bubble)
-        for buffer, post_flits in shifting:
+        # -- Execute windows through the per-flit machinery, verifying the
+        # accumulated span against each candidate period in ascending order.
+        # Whatever happens, everything executed below is exactly the
+        # reference execution, so a probe that never verifies has simply run
+        # the simulation forward.
+        k = k_min
+        while True:
+            exec_end = t0 + k * latency
+            executed_generic = False
+            while heap and heap[0][0] < exec_end:
+                entry = pop_entry()
+                if entry[2]:
+                    complete_transfer(entry[3])
+                else:
+                    # Unreachable while the k_limit room caps hold (no
+                    # generic deadline fits inside the probed span), but a
+                    # generic that does fire ran as reference and simply
+                    # disqualifies the probe.
+                    executed_generic = True
+                    entry[3]()
+            if executed_generic:
+                return self._coalesce_backoff(t0 + (k - 1) * latency, latency)
+            verdict, plan = examine(k)
+            if verdict == "ok":
+                break
+            if verdict == "abort" or k >= k_limit:
+                return self._coalesce_backoff(t0 + (k - 1) * latency, latency)
+            k += 1
+
+        # -- Batch advance: replay m further compound windows arithmetically.
+        shifting, ni_deltas, bound, bubble_rate = plan
+        shift = k * latency
+        now_ns = events.now
+        m = bound
+        if t_other is not None:
+            # The last replayed event must land strictly before the first
+            # generic deadline.
+            limit = (t_other - 1 - now_ns) // shift
+            if m is None or limit < m:
+                m = limit
+        if until_ns is not None:
+            limit = (until_ns - now_ns) // shift
+            if m is None or limit < m:
+                m = limit
+        if m is None:
+            # A pure fixed point (no advancing flit or NI cursor) with no
+            # bounding event cannot be replayed a finite number of times.
+            return self._coalesce_backoff(t0 + (k - 1) * latency, latency)
+        if m < 1 or m * k < _MIN_BATCH_TICKS:
+            return self._coalesce_backoff(t0 + (k - 1) * latency, latency)
+        advance = m * shift
+        delta_hops = stats.flit_hops - pre_flit_hops
+        stats.flit_hops += m * delta_hops
+        stats.bubbles_created += m * bubble_rate
+        if collect:
+            if k == 1:
+                for _time, link, bubble in moving:
+                    link.fast_forward(m, advance, bubble)
+            else:
+                for link, data0, bubble0, busy0, _since0 in pre_link_stats:
+                    d_data = link.data_flits_carried - data0
+                    d_bubble = link.bubble_flits_carried - bubble0
+                    d_busy = link.busy_total_ns - busy0
+                    if d_data or d_bubble or d_busy:
+                        link.data_flits_carried += m * d_data
+                        link.bubble_flits_carried += m * d_bubble
+                        link.busy_total_ns += m * d_busy
+                    if link.busy_since_ns is not None:
+                        link.busy_since_ns += advance
+        for buffer, post_flits, deltas in shifting:
             buffer.replace_contents(
-                Flit(kind, mid, seq + k) for kind, mid, seq in post_flits
+                Flit(kind, mid, seq + m * delta)
+                for (kind, mid, seq), delta in zip(post_flits, deltas)
             )
-        for ni in pushing:
-            ni.next_seq += k
+        for ni, delta in ni_deltas:
+            ni.next_seq += m * delta
         if trace is not None and len(trace.events) != pre_trace_len:
-            # A self-similar window records the identical trace events every
-            # period (bubble records carry only message/switch fields), so
-            # the replayed windows' records are the window's shifted in time.
+            # A self-similar compound window records the identical trace
+            # events every period (bubble records carry only message/switch
+            # fields), so the replayed windows' records are the window's
+            # shifted in time.
             window_records = trace.events[pre_trace_len:]
             append = trace.events.append
-            for tick in range(1, k + 1):
-                delta = tick * latency
+            for tick in range(1, m + 1):
+                delta = tick * shift
                 for record in window_records:
                     append(TraceEvent(record.time_ns + delta, record.kind, record.fields))
-        events.shift_transfers(d_max + advance, advance)
+        events.shift_transfers(now_ns + advance, advance)
         self._coalesce_fail_streak = 0
         self.coalesce_batches += 1
-        self.coalesced_ticks += k
-        if d_max != t0:
-            self.coalesced_stagger_ticks += k
+        ticks = m * k
+        self.coalesced_ticks += ticks
+        if off_class:
+            self.coalesced_stagger_ticks += ticks
         if bubble_rate:
-            self.coalesced_bubble_ticks += k
+            self.coalesced_bubble_ticks += ticks
+        histogram = self.coalesce_k_histogram
+        histogram[k] = histogram.get(k, 0) + 1
+        if k > 1:
+            self.coalesce_multi_period_batches += 1
         return True
 
-    def _coalesce_backoff(self, t0: int, latency: int) -> bool:
-        """An executed tick failed the self-similarity check: the system is
-        in a churn phase, so pause probing — exponentially longer while the
-        failures keep coming (e.g. a long bubble storm on a big multicast
-        tree).  Always returns ``True`` (the tick itself ran through the
-        reference machinery)."""
-        self.coalesce_verify_failures += 1
+    def _coalesce_pause(self, t0: int, latency: int) -> None:
+        """Shared churn backoff: bump the failure streak and close the probe
+        gate exponentially longer while the failures keep coming (e.g. a
+        long bubble storm on a big multicast tree)."""
         streak = self._coalesce_fail_streak
         self._coalesce_fail_streak = streak + 1
         # min() the shift amount, not just the result: an unbounded shift
         # would build ever-larger big-ints over a long churn-heavy run.
         ticks = min(_COALESCE_BACKOFF_TICKS << min(streak, 3), _COALESCE_BACKOFF_MAX_TICKS)
         self._coalesce_gate_ns = t0 + ticks * latency
+
+    def _coalesce_backoff(self, t0: int, latency: int) -> bool:
+        """An executed probe paid for a snapshot without batching — the
+        self-similarity check failed at every candidate period, or the
+        verified pattern had no worthwhile replay.  The system is in a
+        churn phase, so pause probing.  Counted once per probe, however
+        many periods were tried.  Always returns ``True`` (the probed
+        windows themselves ran through the reference machinery)."""
+        self.coalesce_verify_failures += 1
+        self._coalesce_pause(t0, latency)
         return True
+
+    def _coalesce_drain_bail(self, t0: int, latency: int) -> bool:
+        """The cheap scan proved the window can never verify (a draining
+        link whose feeder cannot refill it): take the same exponential
+        backoff a paid verify failure would — a drain is churn — but
+        without having wasted a snapshot, and without counting a verify
+        failure.  Returns ``False``: nothing was executed, the caller pops
+        events normally."""
+        self.coalesce_drain_bails += 1
+        self._coalesce_pause(t0, latency)
+        return False
 
     # ------------------------------------------------------------------
     # Link machinery
@@ -685,6 +955,7 @@ class WormholeSimulator:
     def _deliver_tail(self, flit: Flit, processor: int) -> None:
         """A tail flit reached its destination processor: record delivery."""
         message = self.messages[flit.message_id]
+        self._delivery_count += 1
         completed = message.record_delivery(processor, self.now)
         self.trace_event("deliver", message=message.mid, destination=processor)
         for callback in self.delivery_callbacks:

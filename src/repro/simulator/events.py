@@ -24,12 +24,15 @@ steady-state streaming phase; the engine's fast path
 (``WormholeSimulator._coalesce_tick``) probes that case, consults the
 earliest generic deadline in O(1) to bail out of windows whose batches a
 nearby generic event would cut below the worthwhile minimum (the common case
-during churn phases), and uses the tag in each entry to bound surviving
-batches strictly before the next generic event.
+during churn phases; the bail is counted at most once per probe), and uses
+the tag in each entry to bound surviving batches strictly before the next
+generic event.
 After a verified batch the engine retimes the surviving transfer entries in
-bulk with :meth:`EventQueue.shift_transfers` (synchronized windows are just
-the single-deadline special case); the coalescing contract this upholds is
-specified in ``docs/fast_path.md``.
+bulk with :meth:`EventQueue.shift_transfers` by a whole number of verified
+periods — the compound period ``k × channel period`` for a multi-period
+batch, of which a synchronized single-deadline window is the simplest
+special case; every entry keeps its congruence class modulo that period.
+The coalescing contract this upholds is specified in ``docs/fast_path.md``.
 """
 
 from __future__ import annotations
@@ -179,14 +182,19 @@ class EventQueue:
     def shift_transfers(self, now_ns: int, delta_ns: int) -> None:
         """Batch-advance: move the clock to ``now_ns`` and push every pending
         transfer deadline ``delta_ns`` into the future, preserving both each
-        entry's congruence class (deadline mod period) and the relative
-        (time, FIFO) order of the transfers.  Generic entries are untouched.
+        entry's congruence class (deadline mod any period dividing
+        ``delta_ns``) and the relative (time, FIFO) order of the transfers.
+        Generic entries are untouched.
 
-        The engine calls this after arithmetically replaying ``k`` identical
-        steady-state period windows: transfers that were pending at staggered
-        deadlines ``d`` must land at ``d + k * period``, exactly where the
-        per-flit execution would have rescheduled them (a synchronized window
-        is simply the special case where every deadline is the same).
+        The engine calls this after arithmetically replaying ``m`` identical
+        steady-state windows of a verified period ``P`` (``delta_ns = m·P``;
+        ``P`` is the channel period for the single-period patterns and the
+        compound period ``k × channel period`` for multi-period batches):
+        transfers that were pending at staggered deadlines ``d`` — possibly
+        spread across the ``k`` sub-windows of a compound period — must land
+        at ``d + m·P``, exactly where the per-flit execution would have
+        rescheduled them (a synchronized single-period window is simply the
+        special case where every deadline is the same).
         """
         if delta_ns < 0 or now_ns < self.now:
             raise SimulationError("transfer shift would move time backwards")

@@ -108,7 +108,11 @@ class LinkState:
         ticks (``advance_ns == k * latency_ns``): the wire carried one flit of
         the same kind per tick and stayed continuously busy, so the open busy
         period simply slides forward with the clock (channel-statistics mode
-        only; the engine's fast path is the single caller)."""
+        only; the engine's fast path is the single caller, and only for
+        single-period batches — multi-period batches advance each link by
+        per-compound-window deltas measured during the reference execution,
+        because links behind a bottleneck carry fewer flits per compound
+        period and are not continuously busy)."""
         if bubble:
             self.bubble_flits_carried += k
         else:

@@ -383,3 +383,69 @@ def test_simulator_delivers_every_message(params, workload_seed, num_messages, l
         # A worm visits at least one switch per destination-reaching path and
         # never more switches than the hop-limit allows.
         assert 1 <= message.hops <= config.max_hops
+
+
+@SLOW_SETTINGS
+@given(
+    params=network_params,
+    workload_seed=st.integers(min_value=0, max_value=2**16),
+    num_messages=st.integers(min_value=1, max_value=8),
+    length=st.sampled_from([8, 32]),
+    slow_factor=st.sampled_from([1, 2, 3]),
+)
+def test_multi_period_with_k_max_one_is_todays_engine(
+    params, workload_seed, num_messages, length, slow_factor
+):
+    """Multi-period coalescing restricted to ``coalesce_k_max=1`` must be
+    bit-identical to the single-period engine (``coalesce_multi_period``
+    off) on every observable — the multi-period machinery with a compound
+    period of one window IS today's probe.  Runs with and without a slow
+    channel so both the homogeneous collapse and the heterogeneous
+    fallback paths are exercised."""
+    import numpy as np
+
+    network, spam = build_spam(params)
+    processors = network.processors()
+    rng = np.random.default_rng(workload_seed)
+    specs = []
+    for _ in range(num_messages):
+        source = processors[int(rng.integers(0, len(processors)))]
+        others = [p for p in processors if p != source]
+        k = int(rng.integers(1, min(4, len(others)) + 1))
+        chosen = rng.choice(len(others), size=k, replace=False)
+        specs.append(
+            (source, [others[int(i)] for i in chosen], int(rng.integers(0, 2_000)))
+        )
+    factors = ()
+    if slow_factor > 1:
+        slow_source = processors[int(rng.integers(0, len(processors)))]
+        factors = ((network.injection_channel(slow_source).cid, slow_factor),)
+
+    fingerprints = []
+    for overrides in ({"coalesce_k_max": 1}, {"coalesce_multi_period": False}):
+        config = SimulationConfig(
+            message_length_flits=length,
+            trace=True,
+            collect_channel_stats=True,
+            channel_latency_factors=factors,
+            **overrides,
+        )
+        simulator = WormholeSimulator(network, spam, config)
+        for source, destinations, at_ns in specs:
+            simulator.submit_message(source, destinations, at_ns=at_ns)
+        stats = simulator.run()
+        assert simulator.coalesce_multi_period_batches == 0
+        fingerprints.append(
+            (
+                {m: dict(msg.delivered_ns) for m, msg in simulator.messages.items()},
+                simulator.trace.signature(),
+                stats.flit_hops,
+                stats.bubbles_created,
+                stats.end_time_ns,
+                [
+                    (rec.cid, rec.data_flits, rec.bubble_flits, rec.busy_ns)
+                    for rec in stats.channel_records
+                ],
+            )
+        )
+    assert fingerprints[0] == fingerprints[1]

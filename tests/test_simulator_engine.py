@@ -205,6 +205,57 @@ class TestContention:
         assert len(stats.multicast_records()) == 1
 
 
+class TestSlowChannels:
+    """Per-channel latency factors (``channel_latency_factors``) in the
+    reference engine: a slow channel is the worm's rate bottleneck."""
+
+    def _latency_with_factor(self, network, factor, length=64):
+        spam = SpamRouting.build(network)
+        source, dest = network.processors()
+        cid = network.injection_channel(source).cid
+        config = SimulationConfig(
+            message_length_flits=length,
+            channel_latency_factors=((cid, factor),) if factor > 1 else (),
+        )
+        simulator = WormholeSimulator(network, spam, config)
+        message = simulator.submit_message(source, [dest])
+        simulator.run()
+        return message.latency_from_startup_ns
+
+    def test_slow_injection_throttles_streaming(self, two_switch):
+        """A factor-f injection channel makes the worm stream at one flit
+        per f channel cycles: each extra factor costs (length-2) extra
+        cycles at the bottleneck (head and tail crossings overlap with the
+        downstream pipeline)."""
+        base = self._latency_with_factor(two_switch, 1)
+        slow2 = self._latency_with_factor(two_switch, 2)
+        slow3 = self._latency_with_factor(two_switch, 3)
+        config = SimulationConfig()
+        per_factor = (64 - 2) * config.channel_latency_ns
+        assert slow2 - base == per_factor
+        assert slow3 - base == 2 * per_factor
+
+    def test_factor_one_is_a_no_op(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        cid = lattice32.injection_channel(processors[0]).cid
+        deliveries = []
+        for factors in ((), ((cid, 1),)):
+            config = SimulationConfig(
+                message_length_flits=32, channel_latency_factors=factors
+            )
+            simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+            message = simulator.submit_message(processors[0], [processors[9]])
+            simulator.run()
+            deliveries.append(dict(message.delivered_ns))
+        assert deliveries[0] == deliveries[1]
+
+    def test_unknown_channel_id_rejected(self, two_switch):
+        spam = SpamRouting.build(two_switch)
+        config = SimulationConfig(channel_latency_factors=((10_000, 2),))
+        with pytest.raises(ConfigurationError):
+            WormholeSimulator(two_switch, spam, config)
+
+
 class TestValidationAndSafety:
     def test_submit_rejects_invalid_endpoints(self, figure1, short_config):
         spam = SpamRouting.build(figure1.network, root=figure1.root)

@@ -291,6 +291,11 @@ class TestSimulationConfig:
         assert config.trace
         assert PAPER_CONFIG.message_length_flits == 128  # original untouched
 
+    def test_multi_period_defaults(self):
+        assert PAPER_CONFIG.coalesce_multi_period
+        assert PAPER_CONFIG.coalesce_k_max == 3
+        assert PAPER_CONFIG.channel_latency_factors == ()
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -300,6 +305,13 @@ class TestSimulationConfig:
             {"input_buffer_depth": 0},
             {"max_hops": 1},
             {"router_setup_ns": -5},
+            {"coalesce_k_max": 0},
+            {"channel_latency_factors": ((0, 0),)},
+            {"channel_latency_factors": ((-1, 2),)},
+            {"channel_latency_factors": ((0, 2, 3),)},
+            {"channel_latency_factors": (0, 2)},
+            {"channel_latency_factors": ((0, 2.5),)},
+            {"channel_latency_factors": ((0, 2), (0, 3))},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail when the engine-counter reference and the engine disagree.
+
+``docs/engine_counters.md`` is the normative reference for the engine's
+``coalesce*`` observability counters.  This check keeps it from rotting, in
+both directions:
+
+* every public ``coalesce*`` attribute assigned on ``WormholeSimulator``
+  in ``src/repro/simulator/engine.py`` must appear in the reference as an
+  inline-code heading (``### `name` ``);
+* every counter the reference documents with such a heading must still
+  exist in the engine.
+
+The attribute scan is textual (``self.coalesce... =`` assignments), so the
+check needs no imports and runs in the docs CI job next to
+``check_doc_links.py``::
+
+    python tools/check_counter_docs.py
+
+Exits non-zero listing every mismatch.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ENGINE = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
+REFERENCE = REPO_ROOT / "docs" / "engine_counters.md"
+
+#: Public counter attributes: ``self.coalesce... =`` or an annotated
+#: ``self.coalesce...: type =``.  Private helpers (``self._coalesce*``)
+#: are deliberately not part of the documented surface.
+_ATTRIBUTE = re.compile(r"^\s*self\.(coalesce\w*)\s*(?::[^=]+)?=", re.MULTILINE)
+#: Counters the reference documents, one heading each.
+_HEADING = re.compile(r"^###\s+`(coalesce\w*)`", re.MULTILINE)
+
+
+def main() -> int:
+    errors: list[str] = []
+    engine_text = ENGINE.read_text(encoding="utf-8")
+    reference_text = REFERENCE.read_text(encoding="utf-8")
+
+    counters = set(_ATTRIBUTE.findall(engine_text))
+    documented = set(_HEADING.findall(reference_text))
+    if not counters:
+        errors.append(f"{ENGINE}: no coalesce* counter attributes found (scan broken?)")
+    if not documented:
+        errors.append(f"{REFERENCE}: no counter headings found (scan broken?)")
+
+    for name in sorted(counters - documented):
+        errors.append(
+            f"{REFERENCE}: engine counter {name!r} is not documented "
+            f"(add a '### `{name}`' section)"
+        )
+    for name in sorted(documented - counters):
+        errors.append(
+            f"{REFERENCE}: documents {name!r}, which no longer exists in {ENGINE.name}"
+        )
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(counters)} engine counter(s) against "
+        f"{len(documented)} documented: {'FAIL' if errors else 'ok'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
