@@ -55,8 +55,8 @@ class ExperimentScale:
 
     def with_env_overrides(self) -> "ExperimentScale":
         """Apply ``REPRO_FLITS`` / ``REPRO_SAMPLES`` overrides if present."""
-        flits = int(os.environ.get("REPRO_FLITS", self.message_length_flits))
-        samples = int(os.environ.get("REPRO_SAMPLES", self.samples_per_point))
+        flits = int(os.environ.get("REPRO_FLITS", self.message_length_flits))  # repro-lint: disable=R4 -- documented scale knob; affects scope, not per-seed determinism
+        samples = int(os.environ.get("REPRO_SAMPLES", self.samples_per_point))  # repro-lint: disable=R4 -- documented scale knob; affects scope, not per-seed determinism
         return ExperimentScale(
             name=self.name,
             message_length_flits=flits,
@@ -80,7 +80,7 @@ SCALES = {
 
 def current_scale() -> ExperimentScale:
     """The scale selected by ``REPRO_SCALE`` (default ``"default"``)."""
-    name = os.environ.get("REPRO_SCALE", "default")
+    name = os.environ.get("REPRO_SCALE", "default")  # repro-lint: disable=R4 -- documented scale knob; affects scope, not per-seed determinism
     scale = SCALES.get(name, SCALES["default"])
     return scale.with_env_overrides()
 

@@ -11,7 +11,8 @@ for time so that event ordering is exact and runs are bit-reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from typing import Any
 
 from ..errors import ConfigurationError
 
@@ -135,7 +136,7 @@ class SimulationConfig:
             raise ConfigurationError("max_hops must be at least 2")
         if self.coalesce_k_max < 1:
             raise ConfigurationError("coalesce_k_max must be at least 1")
-        seen_cids = set()
+        seen_cids: set[int] = set()
         for entry in self.channel_latency_factors:
             try:
                 cid, factor = entry
@@ -160,7 +161,7 @@ class SimulationConfig:
                 )
             seen_cids.add(cid)
 
-    def with_overrides(self, **kwargs) -> "SimulationConfig":
+    def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """A copy of the configuration with the given fields replaced."""
         return replace(self, **kwargs)
 

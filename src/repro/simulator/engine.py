@@ -995,8 +995,17 @@ class WormholeSimulator:
             head.try_acquire()
 
     def active_segments(self) -> list[WormSegment]:
-        """Snapshot of the currently live worm segments (diagnostics)."""
-        return list(self._segments)
+        """Snapshot of the currently live worm segments (diagnostics).
+
+        ``_segments`` is a set (membership is the hot operation), so the
+        snapshot is sorted to keep every consumer — deadlock reports in
+        particular — deterministic across processes.  At most one segment
+        of a message lives at a switch, so ``(mid, switch)`` is unique and
+        the ``key=`` sort has no ties to break.
+        """
+        return sorted(  # repro-lint: disable=R1 -- (mid, switch) is unique per live segment, so sorted(key=...) has no encounter-order ties
+            self._segments, key=lambda seg: (seg.message.mid, seg.switch)
+        )
 
     def diagnose_deadlock(self) -> DeadlockReport:
         """Build a deadlock report from the current engine state."""

@@ -74,7 +74,7 @@ def resolve_workers(workers: int | None) -> int:
     """Effective worker count: explicit value, else ``$REPRO_SWEEP_WORKERS``,
     else 1 (sequential).  ``0`` and negative values mean "one per CPU"."""
     if workers is None:
-        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or 1)
+        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or 1)  # repro-lint: disable=R4 -- worker count changes wall-clock only; results are bit-identical by the parallel-vs-sequential test
     if workers <= 0:
         workers = os.cpu_count() or 1
     return workers

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import lru_cache
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -118,8 +118,12 @@ class SweepPointSpec:
     label: str = ""
     x: float = 0.0
 
-    def params(self) -> dict[str, object]:
-        """``workload_params`` as a plain dict."""
+    def params(self) -> dict[str, Any]:
+        """``workload_params`` as a plain dict.
+
+        Values are typed ``Any`` (not ``object``): callers immediately
+        narrow them with ``int(...)`` / ``float(...)`` per workload kind.
+        """
         return dict(self.workload_params)
 
     def as_dict(self) -> dict[str, object]:
@@ -151,7 +155,7 @@ class SweepPointSpec:
 
 def spec_from_dict(data: Mapping[str, object]) -> SweepPointSpec:
     """Rebuild a :class:`SweepPointSpec` from :meth:`SweepPointSpec.as_dict`."""
-    kwargs = dict(data)
+    kwargs: dict[str, Any] = dict(data)
     kwargs["workload_params"] = tuple((k, v) for k, v in kwargs.get("workload_params", ()))
     kwargs["sim_overrides"] = tuple((k, v) for k, v in kwargs.get("sim_overrides", ()))
     known = {f.name for f in fields(SweepPointSpec)}

@@ -155,7 +155,7 @@ class ResultStore:
 
     def __init__(self, root: str | os.PathLike | None = None, code_salt: str | None = None):
         if root is None:
-            root = os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_STORE_DIR)
+            root = os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_STORE_DIR)  # repro-lint: disable=R4 -- cache location knob; stored results are content-addressed so the path cannot change values
         self.root = Path(root)
         self.results_path = self.root / "results.jsonl"
         self.index_path = self.root / "index.json"

@@ -190,7 +190,7 @@ class IrregularLatticeGenerator:
         remaining = set(network.switches())
         components: list[list[int]] = []
         while remaining:
-            start = min(remaining)
+            start = min(remaining)  # repro-lint: disable=R1 -- min over a set of ints is order-independent
             stack = [start]
             comp = {start}
             while stack:

@@ -46,7 +46,9 @@ def switch_eccentricities(network: Network) -> dict[int, int]:
     """
     switch_set = set(network.switches())
     ecc: dict[int, int] = {}
-    for s in switch_set:
+    # Sorted so the returned dict's insertion order (a public, observable
+    # property) never depends on the salted set-hash order.
+    for s in sorted(switch_set):
         dist = _switch_bfs_distances(network, s, switch_set)
         ecc[s] = max(dist.values()) if dist else 0
     return ecc
@@ -84,7 +86,7 @@ def average_switch_distance(network: Network) -> float:
         return 0.0
     total = 0
     count = 0
-    for s in switch_set:
+    for s in sorted(switch_set):
         dist = _switch_bfs_distances(network, s, switch_set)
         for t, d in dist.items():
             if t != s:

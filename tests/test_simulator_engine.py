@@ -316,3 +316,30 @@ class TestValidationAndSafety:
         assert not message.is_complete
         simulator.run()
         assert message.is_complete
+
+
+class TestDeterministicSnapshots:
+    """Regression tests for set-iteration hazards fixed by repro-lint (R1)."""
+
+    def test_active_segments_sorted_regardless_of_set_order(self, figure1, short_config):
+        class FakeMessage:
+            def __init__(self, mid: int) -> None:
+                self.mid = mid
+
+        class FakeSegment:
+            def __init__(self, mid: int, switch: int) -> None:
+                self.message = FakeMessage(mid)
+                self.switch = switch
+
+        spam = SpamRouting.build(figure1.network)
+        simulator = WormholeSimulator(figure1.network, spam, short_config)
+        # active_segments() orders by (message.mid, switch); seed the live-set
+        # in scrambled insertion order to make hash-order leakage visible.
+        fakes = [
+            FakeSegment(mid, switch)
+            for mid, switch in [(2, 1), (0, 3), (1, 0), (0, 1), (2, 0)]
+        ]
+        simulator._segments.update(fakes)
+        snapshot = simulator.active_segments()
+        keys = [(seg.message.mid, seg.switch) for seg in snapshot]
+        assert keys == sorted(keys)

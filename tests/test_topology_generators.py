@@ -236,3 +236,20 @@ class TestPropertiesAndValidation:
         net.connect(a, b)
         report = validate_network(net)
         assert not report.ok
+
+
+class TestDeterministicProperties:
+    """Regression tests for set-iteration hazards fixed by repro-lint (R1)."""
+
+    def test_eccentricities_insertion_order_is_sorted(self):
+        from repro.topology.properties import switch_eccentricities
+
+        net = lattice_irregular_network(24, seed=3)
+        ecc = switch_eccentricities(net)
+        # The dict's insertion order is a public, observable property; it
+        # must follow switch ids, never the salted set-hash order.
+        assert list(ecc) == sorted(ecc)
+
+    def test_average_switch_distance_stable_across_calls(self):
+        net = lattice_irregular_network(24, seed=3)
+        assert average_switch_distance(net) == average_switch_distance(net)

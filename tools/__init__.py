@@ -1,0 +1,7 @@
+"""Repository tooling (CI checks and the ``repro-lint`` static analyzer).
+
+Making ``tools`` a package lets the analyzer run as a module from a
+checkout without any install step::
+
+    python -m tools.repro_lint src/ tools/ benchmarks/
+"""

@@ -1,72 +1,47 @@
 #!/usr/bin/env python
-"""Fail when the engine-counter reference and the engine disagree.
+"""Fail when the engine/config documentation and the code disagree.
 
-``docs/engine_counters.md`` is the normative reference for the engine's
-``coalesce*`` observability counters.  This check keeps it from rotting, in
-both directions:
-
-* every public ``coalesce*`` attribute assigned on ``WormholeSimulator``
-  in ``src/repro/simulator/engine.py`` must appear in the reference as an
-  inline-code heading (``### `name` ``);
-* every counter the reference documents with such a heading must still
-  exist in the engine.
-
-The attribute scan is textual (``self.coalesce... =`` assignments), so the
-check needs no imports and runs in the docs CI job next to
-``check_doc_links.py``::
+Historically this was a standalone textual check of the ``coalesce*``
+counter reference.  It is now a thin shim over the repository's static
+analyzer: rule **R6** (counter discipline — initialization *and*
+``docs/engine_counters.md`` coverage, both directions) and rule **R8**
+(every ``SimulationConfig`` knob documented in the README /
+``docs/fast_path.md``).  CLI and exit codes are unchanged::
 
     python tools/check_counter_docs.py
 
-Exits non-zero listing every mismatch.
+Exits non-zero listing every mismatch.  For the full rule set, run
+``python -m tools.repro_lint`` instead.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-ENGINE = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
-REFERENCE = REPO_ROOT / "docs" / "engine_counters.md"
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
-#: Public counter attributes: ``self.coalesce... =`` or an annotated
-#: ``self.coalesce...: type =``.  Private helpers (``self._coalesce*``)
-#: are deliberately not part of the documented surface.
-_ATTRIBUTE = re.compile(r"^\s*self\.(coalesce\w*)\s*(?::[^=]+)?=", re.MULTILINE)
-#: Counters the reference documents, one heading each.
-_HEADING = re.compile(r"^###\s+`(coalesce\w*)`", re.MULTILINE)
+from tools.repro_lint import run_lint  # noqa: E402
+
+#: The files the doc-coverage rules anchor their findings on.
+_PATHS = (
+    "src/repro/simulator/engine.py",
+    "src/repro/simulator/config.py",
+)
 
 
 def main() -> int:
-    errors: list[str] = []
-    engine_text = ENGINE.read_text(encoding="utf-8")
-    reference_text = REFERENCE.read_text(encoding="utf-8")
-
-    counters = set(_ATTRIBUTE.findall(engine_text))
-    documented = set(_HEADING.findall(reference_text))
-    if not counters:
-        errors.append(f"{ENGINE}: no coalesce* counter attributes found (scan broken?)")
-    if not documented:
-        errors.append(f"{REFERENCE}: no counter headings found (scan broken?)")
-
-    for name in sorted(counters - documented):
-        errors.append(
-            f"{REFERENCE}: engine counter {name!r} is not documented "
-            f"(add a '### `{name}`' section)"
-        )
-    for name in sorted(documented - counters):
-        errors.append(
-            f"{REFERENCE}: documents {name!r}, which no longer exists in {ENGINE.name}"
-        )
-
-    for error in errors:
-        print(error, file=sys.stderr)
+    result = run_lint(root=REPO_ROOT, paths=_PATHS, select=["R6", "R8"])
+    for finding in result.findings:
+        print(finding.render(), file=sys.stderr)
+    status = "FAIL" if result.findings else "ok"
     print(
-        f"checked {len(counters)} engine counter(s) against "
-        f"{len(documented)} documented: {'FAIL' if errors else 'ok'}"
+        f"checked counter & config-knob documentation via repro-lint R6/R8: "
+        f"{len(result.findings)} error(s): {status}"
     )
-    return 1 if errors else 0
+    return result.exit_code
 
 
 if __name__ == "__main__":

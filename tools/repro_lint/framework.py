@@ -1,0 +1,473 @@
+"""The ``repro-lint`` framework: findings, pragmas, baseline, rule registry.
+
+``repro-lint`` is an AST-based static analyzer enforcing the repository's
+*determinism contract*: every simulation, sweep and export must be
+bit-identical run to run, host to host (``docs/determinism.md``).  The
+dynamic half of that contract is the equivalence test suite; this framework
+is the static half — it proves properties of the program text (no
+salted-hash ordering, no set-iteration in result paths, no global RNG
+state, ...) instead of sampling executions.
+
+Architecture
+------------
+* A :class:`Rule` inspects a :class:`Project` (parsed source files plus the
+  repository's documentation) and yields :class:`Finding` objects.  Rules
+  self-register via :func:`register`; :data:`all_rules` returns them in
+  rule-id order so output is deterministic.
+* :class:`FileRule` is the common case: a per-file rule restricted to a
+  tuple of ``scope`` glob patterns (repository-relative posix paths).
+* **Pragmas** suppress a finding at an intentionally order-insensitive
+  site::
+
+      x = min(ids)  # repro-lint: disable=R1 -- min over ints is order-independent
+
+  The justification after ``--`` is mandatory; a pragma without one is
+  itself reported (rule ``R0``).  A pragma on a line of its own applies to
+  the next source line.
+* **Baseline**: a checked-in JSON list of finding fingerprints that are
+  tolerated (grandfathered).  The repository policy is an *empty* baseline
+  — fix or pragma, don't baseline — but the mechanism exists so the linter
+  can be adopted mid-flight by downstream forks.  Fingerprints hash the
+  rule id, the file path and the source line *text* (not the line number),
+  so unrelated edits above a baselined site do not un-baseline it.
+
+Exit codes (:func:`tools.repro_lint.cli.main`): 0 clean, 1 findings,
+2 usage/internal error — deterministic, CI-friendly.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Project",
+    "Rule",
+    "FileRule",
+    "LintResult",
+    "register",
+    "all_rules",
+    "run_lint",
+    "load_baseline",
+    "write_baseline",
+    "DEFAULT_PATHS",
+    "DEFAULT_BASELINE",
+]
+
+#: Paths scanned when the CLI is given none (repository-relative).
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+#: Default baseline location (repository-relative).
+DEFAULT_BASELINE = "tools/repro_lint/baseline.json"
+
+#: ``# repro-lint: disable=R1,R4 -- justification``
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9,\s]+?)"
+    r"(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One determinism-contract violation at one source location."""
+
+    path: str  #: repository-relative posix path
+    line: int  #: 1-based
+    col: int  #: 0-based (ast convention)
+    rule: str  #: e.g. ``"R1"``
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed python source file."""
+
+    relpath: str  #: posix path relative to the project root
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of 1-based ``lineno`` (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Project:
+    """Everything a rule may inspect: parsed sources plus documentation.
+
+    ``files`` holds every successfully parsed python file under the scanned
+    paths, in sorted relpath order (determinism).  Documentation is read
+    lazily through :meth:`read_text` so project-level rules (counter/knob
+    doc coverage) can diff code against ``README.md`` / ``docs/*.md``.
+    """
+
+    def __init__(self, root: Path, files: Sequence[FileContext]):
+        self.root = Path(root)
+        self.files = sorted(files, key=lambda ctx: ctx.relpath)
+        self._by_path = {ctx.relpath: ctx for ctx in self.files}
+
+    def file(self, relpath: str) -> FileContext | None:
+        """The parsed file at ``relpath``, or ``None`` when not scanned."""
+        return self._by_path.get(relpath)
+
+    def read_text(self, relpath: str) -> str | None:
+        """Raw text of any repository file (``None`` when absent)."""
+        path = self.root / relpath
+        try:
+            return path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+
+
+class Rule:
+    """Base class: one named, registered determinism check."""
+
+    rule_id: str = ""
+    name: str = ""
+    #: One-line rationale, shown by ``--list-rules`` and in docs.
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, relpath: str, node_or_line: ast.AST | int, message: str, col: int | None = None
+    ) -> Finding:
+        if isinstance(node_or_line, int):
+            line, column = node_or_line, 0 if col is None else col
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            column = getattr(node_or_line, "col_offset", 0) if col is None else col
+        return Finding(
+            path=relpath,
+            line=line,
+            col=column,
+            rule=self.rule_id,
+            message=f"[{self.name}] {message}",
+            severity=self.severity,
+        )
+
+
+class FileRule(Rule):
+    """A rule that inspects files matching its ``scope`` glob patterns."""
+
+    #: Repository-relative posix glob patterns (``fnmatch`` on the full
+    #: relpath); empty means "every scanned file".
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scope:
+            return True
+        return any(fnmatch.fnmatch(relpath, pattern) for pattern in self.scope)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for ctx in project.files:
+            if self.applies_to(ctx.relpath):
+                yield from self.check_file(ctx, project)
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: Registry, populated by the :mod:`tools.repro_lint.rules` package.
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by rule id)."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in rule-id order (import triggers registration)."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Pragma suppression
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Pragma:
+    line: int  #: line the pragma applies to (its own, or the next for bare lines)
+    rules: tuple[str, ...]
+    reason: str | None
+    declared_line: int  #: line the comment physically sits on
+
+
+def _parse_pragmas(ctx: FileContext) -> list[Pragma]:
+    pragmas: list[Pragma] = []
+    for lineno, text in enumerate(ctx.lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason")
+        applies_to = lineno
+        if text.lstrip().startswith("#"):
+            # A pragma on a line of its own governs the next line.
+            applies_to = lineno + 1
+        pragmas.append(
+            Pragma(line=applies_to, rules=rules, reason=reason, declared_line=lineno)
+        )
+    return pragmas
+
+
+def _apply_pragmas(
+    ctx: FileContext, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Split ``findings`` into (kept, pragma-discipline findings, suppressed count)."""
+    pragmas = _parse_pragmas(ctx)
+    discipline: list[Finding] = []
+    by_line: dict[int, list[Pragma]] = {}
+    for pragma in pragmas:
+        if not pragma.reason:
+            discipline.append(
+                Finding(
+                    path=ctx.relpath,
+                    line=pragma.declared_line,
+                    col=0,
+                    rule="R0",
+                    message=(
+                        "[pragma-discipline] suppression pragma has no justification; "
+                        "write '# repro-lint: disable=<rules> -- <why this site is safe>'"
+                    ),
+                )
+            )
+            continue  # an unjustified pragma suppresses nothing
+        by_line.setdefault(pragma.line, []).append(pragma)
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        covering = by_line.get(finding.line, ())
+        if any(finding.rule in pragma.rules for pragma in covering):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, discipline, suppressed
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable identity of a finding: rule, file, and the *text* of the line
+    (line numbers shift when unrelated code moves; text does not)."""
+    return f"{finding.rule}:{finding.path}:{line_text.strip()}"
+
+
+def load_baseline(path: Path) -> list[str]:
+    """Fingerprints grandfathered by the baseline file (missing file = none)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    entries = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise ValueError(
+            f"baseline {path} must look like {{\"findings\": [<fingerprint>, ...]}}"
+        )
+    return [str(entry) for entry in entries]
+
+
+def write_baseline(path: Path, result: "LintResult") -> None:
+    """Persist the current findings as the new baseline (sorted, stable)."""
+    payload = {
+        "comment": (
+            "Grandfathered repro-lint findings. Repository policy is to keep "
+            "this EMPTY: fix the hazard or add a justified inline pragma. "
+            "Regenerate with --write-baseline."
+        ),
+        "findings": sorted(result.fingerprints),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """What a lint run produced, pre-sorted for deterministic output."""
+
+    findings: list[Finding]
+    fingerprints: list[str]  #: aligned with ``findings``
+    files_scanned: int
+    suppressed: int  #: findings silenced by justified pragmas
+    baselined: int  #: findings silenced by the baseline file
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        status = "FAIL" if self.findings else "ok"
+        return (
+            f"repro-lint: {len(self.findings)} finding(s) across "
+            f"{self.files_scanned} file(s) "
+            f"({self.suppressed} pragma-suppressed, {self.baselined} baselined): {status}"
+        )
+
+
+def _discover(root: Path, paths: Sequence[str]) -> list[Path]:
+    """Python files under ``paths`` (files or directories), sorted."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(part.startswith(".") or part == "__pycache__" for part in candidate.parts):
+                    continue
+                found.add(candidate)
+    return sorted(found)
+
+
+def run_lint(
+    root: Path,
+    paths: Sequence[str] = DEFAULT_PATHS,
+    select: Iterable[str] | None = None,
+    disable: Iterable[str] = (),
+    baseline: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Run the analyzer and return a :class:`LintResult`.
+
+    Parameters
+    ----------
+    root:
+        Repository root; every reported path and every scope pattern is
+        relative to it.
+    paths:
+        Files or directories (relative to ``root``) to scan.
+    select / disable:
+        Restrict to / drop the given rule ids (``select`` wins first).
+    baseline:
+        Baseline file; ``None`` uses :data:`DEFAULT_BASELINE` under
+        ``root`` when present.
+    rules:
+        Explicit rule instances (tests); defaults to the full registry.
+    """
+    root = Path(root).resolve()
+    active = list(all_rules()) if rules is None else list(rules)
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - {rule.rule_id for rule in active}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        active = [rule for rule in active if rule.rule_id in wanted]
+    dropped = {rule_id.upper() for rule_id in disable}
+    active = [rule for rule in active if rule.rule_id not in dropped]
+
+    contexts: list[FileContext] = []
+    parse_failures: list[Finding] = []
+    for path in _discover(root, paths):
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=relpath)
+        except (OSError, UnicodeDecodeError, SyntaxError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            parse_failures.append(
+                Finding(
+                    path=relpath,
+                    line=int(lineno),
+                    col=0,
+                    rule="E0",
+                    message=f"[unparseable] cannot analyze file: {exc}",
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(relpath=relpath, text=text, tree=tree, lines=text.splitlines())
+        )
+
+    project = Project(root, contexts)
+    raw: dict[str, list[Finding]] = {ctx.relpath: [] for ctx in contexts}
+    for rule in active:
+        for finding in rule.check(project):
+            raw.setdefault(finding.path, []).append(finding)
+
+    kept: list[Finding] = list(parse_failures)
+    suppressed_total = 0
+    for ctx in contexts:
+        file_findings = sorted(raw.get(ctx.relpath, []))
+        file_kept, discipline, suppressed = _apply_pragmas(ctx, file_findings)
+        kept.extend(file_kept)
+        kept.extend(discipline)
+        suppressed_total += suppressed
+    # Findings attributed to files outside the scan set (e.g. a doc-coverage
+    # rule blaming a missing markdown heading) bypass pragma handling.
+    for relpath, file_findings in raw.items():
+        if project.file(relpath) is None:
+            kept.extend(file_findings)
+
+    kept.sort()
+    baseline_path = baseline if baseline is not None else root / DEFAULT_BASELINE
+    grandfathered = load_baseline(baseline_path)
+    budget: dict[str, int] = {}
+    for entry in grandfathered:
+        budget[entry] = budget.get(entry, 0) + 1
+
+    final: list[Finding] = []
+    fingerprints: list[str] = []
+    baselined = 0
+    for finding in kept:
+        ctx = project.file(finding.path)
+        line_text = ctx.line_text(finding.line) if ctx is not None else ""
+        fingerprint = _fingerprint(finding, line_text)
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            baselined += 1
+            continue
+        final.append(finding)
+        fingerprints.append(fingerprint)
+
+    return LintResult(
+        findings=final,
+        fingerprints=fingerprints,
+        files_scanned=len(contexts),
+        suppressed=suppressed_total,
+        baselined=baselined,
+    )

@@ -1,0 +1,25 @@
+"""Rule registry assembly: importing this package registers every rule.
+
+Rule map (normative rationale in ``docs/determinism.md``):
+
+========  ==================  ====================================================
+Rule id   Name                Guards against
+========  ==================  ====================================================
+R0        pragma-discipline   suppression pragmas without a justification
+R1        set-iteration       salted-hash iteration order reaching traces/stats
+R2        salted-hash         builtin ``hash()``/``id()`` in keys and orderings
+R3        rng-discipline      global or unseeded RNG state
+R4        environment-leak    wall-clock / entropy / environment dependence
+R5        float-order         non-associative float sums over unordered iterables
+R6        counter-discipline  uninitialized counters; undocumented ``coalesce*``
+R7        pool-purity         module-state mutation in process-pool workers
+R8        config-knob-docs    undocumented ``SimulationConfig`` fields
+========  ==================  ====================================================
+
+(E0 — unparseable file — and R0 are emitted by the framework itself.)
+Adding a rule: subclass :class:`~tools.repro_lint.framework.FileRule` in a
+new module here, decorate it with ``@register``, and import the module
+below; ``docs/determinism.md`` documents the policy a new rule must follow.
+"""
+
+from . import counters, docs, environment, hashing, iteration, purity, rng  # noqa: F401

@@ -1,0 +1,169 @@
+"""Shared AST helpers for the iteration-order rules (R1, R5).
+
+The core problem both rules share: decide, without type inference, whether
+an expression *provably* evaluates to a ``set``/``frozenset``.  The helpers
+here track set-typed bindings per scope — constructor calls, set literals
+and comprehensions, annotations (``x: set[int]``, parameters included),
+``self`` attributes annotated or assigned set-valued anywhere in the class,
+set-algebra operators and the set methods that return sets.  The analysis
+is deliberately *under*-approximate: only expressions that are certainly
+sets are reported, so every finding is actionable (no speculative noise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "SetBindings",
+    "collect_class_set_attrs",
+    "is_set_expr",
+    "iter_scopes",
+    "scope_set_bindings",
+]
+
+#: Constructor names producing sets.
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+#: ``set`` methods returning a new set.
+_SET_RETURNING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+#: Operators closed over sets (``a | b``, ``a - b``, ...).
+_SET_OPERATORS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    """``set``/``frozenset`` (bare or subscripted), possibly in a union."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in _SET_CONSTRUCTORS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_CONSTRUCTORS
+    return False
+
+
+class SetBindings:
+    """Names (and ``self`` attributes) known to be set-typed in one scope."""
+
+    def __init__(self, names: set[str], self_attrs: set[str]):
+        self.names = names
+        self.self_attrs = self_attrs
+
+
+def collect_class_set_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attribute names a class binds to sets (``self.x = set()``,
+    ``self.x: set[...]`` in any method, or a set-annotated class field)."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+            target = node.target
+            if isinstance(target, ast.Name):
+                attrs.add(target.id)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _value_is_set_literalish(node.value)
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def _value_is_set_literalish(value: ast.expr) -> bool:
+    """Set-producing expressions recognisable without name context."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+            return True
+    return False
+
+
+def scope_set_bindings(scope: ast.AST) -> SetBindings:
+    """Set-typed names bound anywhere in ``scope`` (no flow sensitivity —
+    a name is "a set" if any binding in the scope makes it one)."""
+    names: set[str] = set()
+    self_attrs: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_is_set(arg.annotation):
+                names.add(arg.arg)
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.AnnAssign):
+            if _annotation_is_set(node.annotation) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Assign):
+            if _value_is_set_literalish(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return SetBindings(names=names, self_attrs=set())
+
+
+def is_set_expr(node: ast.expr, bindings: SetBindings) -> bool:
+    """``True`` when ``node`` provably evaluates to a set/frozenset."""
+    if _value_is_set_literalish(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in bindings.names
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return node.attr in bindings.self_attrs
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPERATORS):
+        return is_set_expr(node.left, bindings) or is_set_expr(node.right, bindings)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _SET_RETURNING_METHODS:
+            return is_set_expr(node.func.value, bindings)
+    return False
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes
+    (comprehensions are walked: they share the bindings we track)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, ast.ClassDef | None]]:
+    """Yield ``(scope, enclosing_class)`` for the module and every function,
+    at any nesting depth."""
+    yield tree, None
+
+    def _recurse(node: ast.AST, enclosing: ast.ClassDef | None) -> Iterator[tuple[ast.AST, ast.ClassDef | None]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from _recurse(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, enclosing
+                yield from _recurse(child, enclosing)
+            else:
+                yield from _recurse(child, enclosing)
+
+    yield from _recurse(tree, None)

@@ -1,0 +1,90 @@
+"""R8: config-knob documentation coverage.
+
+``SimulationConfig`` is the engine's entire user-facing parameter surface;
+an undocumented field is a knob users cannot discover and a reviewer cannot
+check against the paper's values.  Every dataclass field must appear —
+inside an inline code span or a fenced code block — in the README's
+engine-knob table or in ``docs/fast_path.md``.  (Prose mentions do not
+count: ``trace`` the English word is not ``trace`` the knob.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..framework import FileContext, FileRule, Finding, Project, register
+
+_CONFIG = "src/repro/simulator/config.py"
+_DOCS = ("README.md", "docs/fast_path.md")
+
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+
+
+def _config_fields(tree: ast.Module) -> dict[str, int]:
+    """``SimulationConfig`` dataclass fields -> line numbers."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "SimulationConfig":
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+            }
+    return {}
+
+
+def _code_span_corpus(text: str) -> str:
+    """Concatenated contents of fenced blocks and inline code spans."""
+    fenced = _FENCE.findall(text)
+    remainder = _FENCE.sub("", text)
+    inline = _INLINE_CODE.findall(remainder)
+    return "\n".join(fenced + inline)
+
+
+@register
+class ConfigKnobDocsRule(FileRule):
+    """R8: every ``SimulationConfig`` field documented in README/fast_path."""
+
+    rule_id = "R8"
+    name = "config-knob-docs"
+    description = (
+        "every SimulationConfig field must appear (as code) in the README "
+        "engine-knob table or docs/fast_path.md — an undocumented knob is "
+        "invisible to users and unreviewable against the paper"
+    )
+    scope = (_CONFIG,)
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        fields = _config_fields(ctx.tree)
+        if not fields:
+            yield self.finding(
+                ctx.relpath, 1, "SimulationConfig dataclass not found (scan broken?)"
+            )
+            return
+        corpora: list[str] = []
+        missing_docs: list[str] = []
+        for relpath in _DOCS:
+            text = project.read_text(relpath)
+            if text is None:
+                missing_docs.append(relpath)
+            else:
+                corpora.append(_code_span_corpus(text))
+        if missing_docs:
+            yield self.finding(
+                ctx.relpath,
+                1,
+                f"knob documentation file(s) missing: {', '.join(missing_docs)}",
+            )
+        corpus = "\n".join(corpora)
+        for name in sorted(fields):
+            pattern = re.compile(rf"(?<![\w]){re.escape(name)}(?![\w])")
+            if not pattern.search(corpus):
+                yield self.finding(
+                    ctx.relpath,
+                    fields[name],
+                    f"config knob '{name}' is not documented: add it to the "
+                    f"README engine-knob table or docs/fast_path.md (inline "
+                    f"code or a fenced block)",
+                )

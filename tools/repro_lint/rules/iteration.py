@@ -1,0 +1,209 @@
+"""R1 (set-iteration order) and R5 (float accumulation order).
+
+Python sets iterate in hash order, and string/object hashes are salted per
+process (``PYTHONHASHSEED``): any trace-, stat- or export-affecting code
+that iterates a ``set`` can produce different output on the next run or on
+another host.  The engine's own state (``WormholeSimulator._segments``) is
+a set precisely because membership is the hot operation — every *ordered*
+consumer must go through ``sorted(...)`` (the sanctioned fix; a bare
+``sorted`` call is deterministic because equal elements are
+indistinguishable, while ``sorted(key=...)`` breaks ties by encounter
+order and therefore does NOT count as safe).
+
+R5 is the floating-point sibling: ``sum()`` over an unordered iterable of
+floats is nondeterministic even when the *multiset* of values is fixed,
+because float addition is not associative.  It is scoped to the statistics
+paths (``analysis/``, ``simulator/stats.py``) where a silently reordered
+sum would corrupt exported figures.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from ..framework import FileContext, FileRule, Finding, Project, register
+from ._shared import (
+    SetBindings,
+    collect_class_set_attrs,
+    is_set_expr,
+    iter_scopes,
+    scope_set_bindings,
+)
+
+#: Builtins whose result depends on the argument's iteration order (or, for
+#: ``min``/``max``, on tie-breaking by encounter order).
+_ORDER_SENSITIVE_CALLS = {"sum", "min", "max", "list", "tuple", "enumerate", "iter"}
+#: Calls where the iterable sits past a leading callable argument.
+_HIGHER_ORDER_CALLS = {"map": 1, "filter": 1}
+#: Contexts that neutralise iteration order (results are order-independent).
+_SAFE_CALLS = {"set", "frozenset", "len", "any", "all"}
+
+#: Files whose ``sum()`` hazards belong to R5 (so R1 does not double-report).
+_R5_SCOPE = ("src/repro/analysis/*", "src/repro/simulator/stats.py")
+
+#: Accumulators with float-order sensitivity (R5).
+_FLOAT_ACCUMULATORS = {"sum", "fsum", "mean", "stdev", "pstdev", "variance", "pvariance"}
+
+
+def _sorted_without_key(node: ast.Call) -> bool:
+    func = node.func
+    is_sorted = isinstance(func, ast.Name) and func.id == "sorted"
+    if not is_sorted:
+        return False
+    return not any(kw.arg == "key" for kw in node.keywords)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _safe_wrappers(scope_walk: list[ast.AST]) -> set[int]:
+    """ids of comprehension/name nodes neutralised by a safe enclosing call
+    (``sorted(gen)``, ``set(gen)``, ``any(gen)`` ...)."""
+    safe: set[int] = set()
+    for node in scope_walk:
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if (name in _SAFE_CALLS) or _sorted_without_key(node):
+            for arg in node.args:
+                safe.add(id(arg))
+    return safe
+
+
+def _scope_nodes(scope: ast.AST) -> list[ast.AST]:
+    """Nodes of one scope, excluding nested function/class scopes."""
+    collected: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        collected.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return collected
+
+
+def _iter_hazards(
+    scope: ast.AST, bindings: SetBindings
+) -> Iterator[tuple[ast.expr, str]]:
+    """(offending set expression, description of the iteration context)."""
+    nodes = _scope_nodes(scope)
+    safe = _safe_wrappers(nodes)
+    for node in nodes:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set_expr(node.iter, bindings):
+                yield node.iter, "a for-loop"
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            if id(node) in safe:
+                continue  # e.g. sorted(f(x) for x in s) — output is ordered
+            for comp in node.generators:
+                if is_set_expr(comp.iter, bindings):
+                    yield comp.iter, "a comprehension"
+        elif isinstance(node, ast.Call):
+            # Findings anchor at the *call* node so an inline pragma on the
+            # line of the call works even when the set argument wraps onto
+            # a following line.
+            name = _call_name(node)
+            if name == "sorted" and not _sorted_without_key(node):
+                if node.args and is_set_expr(node.args[0], bindings):
+                    yield node, "sorted(key=...) (ties break by encounter order)"
+            elif name in _ORDER_SENSITIVE_CALLS and isinstance(node.func, ast.Name):
+                if node.args and is_set_expr(node.args[0], bindings):
+                    yield node, f"{name}()"
+            elif name in _HIGHER_ORDER_CALLS and isinstance(node.func, ast.Name):
+                start = _HIGHER_ORDER_CALLS[name]
+                for arg in node.args[start:]:
+                    if is_set_expr(arg, bindings):
+                        yield node, f"{name}()"
+            elif name == "join" and isinstance(node.func, ast.Attribute):
+                if node.args and is_set_expr(node.args[0], bindings):
+                    yield node, "str.join()"
+
+
+def _file_bindings(ctx: FileContext) -> Iterator[tuple[ast.AST, SetBindings]]:
+    class_attrs: dict[ast.ClassDef, set[str]] = {}
+    for scope, enclosing_class in iter_scopes(ctx.tree):
+        bindings = scope_set_bindings(scope)
+        if enclosing_class is not None:
+            if enclosing_class not in class_attrs:
+                class_attrs[enclosing_class] = collect_class_set_attrs(enclosing_class)
+            bindings.self_attrs = class_attrs[enclosing_class]
+        yield scope, bindings
+
+
+@register
+class SetIterationRule(FileRule):
+    """R1: iteration over a ``set``/``frozenset`` in result-affecting code."""
+
+    rule_id = "R1"
+    name = "set-iteration"
+    description = (
+        "for-loops, comprehensions, sum/min/max/list/tuple/map/filter/join and "
+        "sorted(key=...) over set values iterate in salted-hash order; wrap the "
+        "set in sorted(...) or justify the site with a pragma"
+    )
+    scope = ("src/repro/*", "tools/*", "benchmarks/*")
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        in_r5_scope = any(
+            fnmatch.fnmatch(ctx.relpath, pattern) for pattern in _R5_SCOPE
+        )
+        for scope, bindings in _file_bindings(ctx):
+            for expr, context in _iter_hazards(scope, bindings):
+                if in_r5_scope and context == "sum()":
+                    continue  # R5 owns float sums in the statistics paths
+                yield self.finding(
+                    ctx.relpath,
+                    expr,
+                    f"iteration over a set in {context} follows salted-hash order "
+                    f"(nondeterministic across processes); wrap it in sorted(...)",
+                )
+
+
+def _float_sum_hazards(
+    scope: ast.AST, bindings: SetBindings
+) -> Iterator[ast.expr]:
+    for node in _scope_nodes(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _FLOAT_ACCUMULATORS or not node.args:
+            continue
+        arg = node.args[0]
+        if is_set_expr(arg, bindings):
+            yield arg
+        elif isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            if any(is_set_expr(comp.iter, bindings) for comp in arg.generators):
+                yield arg
+
+
+@register
+class FloatOrderRule(FileRule):
+    """R5: float accumulation over an unordered iterable in statistics code."""
+
+    rule_id = "R5"
+    name = "float-order"
+    description = (
+        "sum()/fsum()/mean() over a set (or a generator driven by one) adds "
+        "floats in salted-hash order; float addition is not associative, so "
+        "exported statistics would differ across hosts — sort first"
+    )
+    scope = _R5_SCOPE
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        for scope, bindings in _file_bindings(ctx):
+            for expr in _float_sum_hazards(scope, bindings):
+                yield self.finding(
+                    ctx.relpath,
+                    expr,
+                    "float accumulation over an unordered iterable: addition order "
+                    "follows the salted hash, and float addition is not associative; "
+                    "accumulate over sorted(...) values instead",
+                )

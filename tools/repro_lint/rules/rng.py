@@ -1,0 +1,142 @@
+"""R3: RNG discipline — all randomness flows from spec/config seeds.
+
+The sweep architecture's core guarantee (``docs/sweeps.md``) is that a
+point's result is a pure function of its :class:`SweepPointSpec` — seeds
+included.  That dies the moment any library code touches *global* RNG
+state (``random.random()``, ``numpy.random.seed()``, the legacy
+``np.random.*`` functions) or builds an **unseeded** generator
+(``random.Random()`` / ``np.random.default_rng()`` with no argument, which
+seed from OS entropy).  Every generator must be constructed from an
+explicit seed that arrived via a spec, a config field or a function
+parameter.
+
+Detection is alias-aware for the common import shapes (``import numpy as
+np``, ``from numpy import random``, ``from numpy.random import
+default_rng``, ``import random``); annotations such as
+``np.random.Generator`` are types, not calls, and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, FileRule, Finding, Project, register
+
+#: Constructors that are fine *when given an explicit seed argument*.
+_SEEDABLE = {"Random", "default_rng", "RandomState", "SeedSequence"}
+#: numpy.random attributes that are legitimate without calling (classes /
+#: seeded constructors); anything else called on the module is global state.
+_NUMPY_ALLOWED = _SEEDABLE | {"Generator", "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+
+
+def _module_aliases(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    """(module aliases, imported-name origins).
+
+    ``import numpy as np``            -> aliases["np"] = "numpy"
+    ``from numpy import random``      -> aliases["random"] = "numpy.random"
+    ``import random``                 -> aliases["random"] = "random"
+    ``from random import shuffle``    -> names["shuffle"] = "random.shuffle"
+    ``from numpy.random import default_rng`` -> names["default_rng"] = "numpy.random.default_rng"
+    """
+    aliases: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+                if item.asname is None and "." in item.name:
+                    # ``import numpy.random`` binds "numpy".
+                    aliases[item.name.split(".")[0]] = item.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                full = f"{node.module}.{item.name}"
+                bound = item.asname or item.name
+                # Submodule import (from numpy import random) vs name import
+                # (from random import shuffle) cannot be told apart
+                # statically; record both views and let the caller match.
+                aliases[bound] = full
+                names[bound] = full
+    return aliases, names
+
+
+def _dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted module path, alias-expanded."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+@register
+class RngDisciplineRule(FileRule):
+    """R3: global-state or unseeded RNG construction in the library."""
+
+    rule_id = "R3"
+    name = "rng-discipline"
+    description = (
+        "module-level random.*/numpy.random.* calls and unseeded "
+        "Random()/default_rng() construction draw from process-global or OS "
+        "entropy; all randomness must flow from spec/config seeds"
+    )
+    scope = ("src/repro/*",)
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        aliases, names = _module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._classify(node, aliases, names)
+            if target is not None:
+                yield self.finding(ctx.relpath, node, target)
+
+    def _classify(
+        self, node: ast.Call, aliases: dict[str, str], names: dict[str, str]
+    ) -> str | None:
+        has_args = bool(node.args or node.keywords)
+        func = node.func
+        dotted = _dotted(func, aliases) if isinstance(func, ast.Attribute) else None
+        if dotted is None and isinstance(func, ast.Name):
+            dotted = names.get(func.id)
+        if dotted is None:
+            return None
+
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf in _SEEDABLE and not has_args:
+                return (
+                    f"{leaf}() without a seed draws from OS entropy; construct "
+                    f"generators from an explicit spec/config seed"
+                )
+            if leaf not in _NUMPY_ALLOWED:
+                return (
+                    f"numpy.random.{leaf}() uses numpy's process-global RNG state; "
+                    f"thread an explicit numpy.random.Generator through instead"
+                )
+            return None
+        if dotted == "random" or dotted.startswith("random."):
+            leaf = dotted.rsplit(".", 1)[1] if "." in dotted else dotted
+            if leaf in _SEEDABLE:
+                if not has_args:
+                    return (
+                        f"{leaf}() without a seed draws from OS entropy; pass an "
+                        f"explicit seed from the spec/config"
+                    )
+                return None
+            if leaf == "SystemRandom":
+                return "SystemRandom draws from OS entropy and can never be reproducible"
+            return (
+                f"random.{leaf}() mutates/reads the process-global RNG; construct "
+                f"a seeded random.Random(seed) (or numpy Generator) instead"
+            )
+        return None
