@@ -1,0 +1,380 @@
+"""Region assignment and message-coupling analysis for region-parallel runs.
+
+The region-parallel executor (:mod:`repro.simulator.regions`) needs two
+static facts about a simulation before it starts:
+
+* a partition of the switches into *regions* — contiguous chunks of the
+  spanning tree's depth-first order (the same notion of contiguity the
+  destination-partitioning extension uses, see
+  :mod:`repro.core.partition`), with every processor joining its switch's
+  region and the *boundary channels* (switch-to-switch channels whose
+  endpoints fall in different regions) identified;
+* for every message, the set of regions its worm is expected to touch —
+  computed from a channel closure over the routing decision graph.
+
+Two closures are offered, one per coupling mode of :func:`plan_shards`:
+
+``traversable`` (:func:`traversable_channels`)
+    A breadth-first walk that, starting from the source's injection
+    channel, expands **every** channel the routing algorithm could offer
+    at each ``(switch, in_channel)`` state.  Adaptive (``ONE_OF``)
+    choices are runtime-dependent, so all candidates are included; the
+    closure is a superset of every channel the worm acquires, queues on
+    (OCRQ) or pushes bubbles into in *any* execution.  Sound without any
+    runtime check — but under a fully adaptive algorithm such as SPAM
+    (whose up-phase rule admits *every* up channel) it spans most of the
+    network and usually collapses all messages into one shard.
+
+``preferred`` (:func:`preferred_channels`)
+    The same walk expanding only the **first** candidate of each adaptive
+    choice — exactly the channels the worm uses when it runs *alone* on
+    an idle network (the engine's candidate scan picks the first
+    acquirable candidate, and on an idle network the first candidate is
+    acquirable).  Under contention a live worm can deviate onto channels
+    outside this closure, so preferred-mode shards are *optimistic* and
+    the region-parallel executor re-validates them at run time against
+    the channels each shard **actually** touched
+    (:attr:`repro.simulator.engine.WormholeSimulator.touched_cids`),
+    merging and re-running shards whose touched sets collide.
+
+Cross-message interaction in the engine flows exclusively through shared
+*channels* — link buffers, OCRQs, wire slots, source-NI injection links;
+there is no per-switch mutable state — so :func:`plan_shards` couples
+messages at channel granularity: messages whose closures share a channel
+belong to the same connected component (same-source messages in
+particular — they share the injection channel), and the components are
+deterministically bin-packed into at most ``region_count`` *shards*, one
+event loop each.  Region ownership of channels (the region of a
+channel's deeper endpoint, see :class:`RegionAssignment`) is the
+*observability* quotient: a message whose closure's channels are all
+owned by one region is *confined*, and confined messages of different
+regions can never share a channel, so region-confined workloads always
+decompose into ``region_count`` shards.  See ``docs/region_parallel.md``
+for why shard disjointness makes per-shard execution exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError, RoutingError
+from ..spanning.roots import select_root
+from ..spanning.tree import SpanningTree, bfs_spanning_tree
+from ..topology.network import Network
+from .decision import DecisionMode
+from .interface import RoutingAlgorithm
+from .partition import partition_contiguous
+
+__all__ = [
+    "RegionAssignment",
+    "ShardPlan",
+    "assign_regions",
+    "traversable_channels",
+    "preferred_channels",
+    "plan_shards",
+]
+
+
+@dataclass(frozen=True)
+class RegionAssignment:
+    """A partition of the network's switches (and their processors) into regions.
+
+    Attributes
+    ----------
+    regions:
+        Per-region tuples of switch ids, in spanning-tree DFS order.
+    region_of:
+        Node id (switch *or* processor) → region index.  Processors belong
+        to the region of the switch they hang off.
+    channel_region:
+        Channel id → owning region.  A channel belongs to the region of its
+        *deeper* endpoint (greater spanning-tree depth; ties broken by node
+        id), so the channels converging on a shallow switch — the root in
+        the extreme — are owned by the subtree sides they serve.  Worms
+        from different regions meeting at a shared shallow switch touch
+        *different* channels there, and channel ownership (not switch
+        visits) is what decides coupling: the engine keeps no per-switch
+        mutable state outside its links.
+    boundary_cids:
+        Channel ids of switch-to-switch channels whose endpoints lie in
+        different regions, ascending.  Injection/consumption channels are
+        never boundary channels.
+    """
+
+    regions: tuple[tuple[int, ...], ...]
+    region_of: dict[int, int]
+    channel_region: dict[int, int]
+    boundary_cids: tuple[int, ...]
+
+    @property
+    def num_regions(self) -> int:
+        """Number of (non-empty) regions."""
+        return len(self.regions)
+
+
+def assign_regions(
+    network: Network,
+    region_count: int,
+    tree: SpanningTree | None = None,
+) -> RegionAssignment:
+    """Partition the switches into ``region_count`` DFS-contiguous regions.
+
+    Parameters
+    ----------
+    network:
+        The network to partition.
+    region_count:
+        Requested number of regions; clamped to the number of switches
+        (asking for more regions than switches degenerates to one switch
+        per region).
+    tree:
+        Spanning tree defining the DFS order.  Pass the routing algorithm's
+        own tree (``SpamRouting.tree``) so regions align with the up*/down*
+        structure; defaults to a BFS tree rooted at the network's centre —
+        deterministically, with no randomness involved.
+
+    Contiguous DFS chunks keep each region a connected piece of the tree,
+    so region-local traffic (source and destinations under one chunk)
+    tends to stay inside its region — the case region-parallel execution
+    speeds up.
+    """
+    if region_count < 1:
+        raise ConfigurationError("region_count must be at least 1")
+    if tree is None:
+        tree = bfs_spanning_tree(network, select_root(network, "center"))
+    switches = network.switches()
+    chunks = partition_contiguous(tree, switches, region_count)
+    regions = tuple(tuple(chunk) for chunk in chunks if chunk)
+    region_of: dict[int, int] = {}
+    for index, chunk in enumerate(regions):
+        for switch in chunk:
+            region_of[switch] = index
+            for processor in network.processors_of(switch):
+                region_of[processor] = index
+
+    def depth_key(node: int) -> tuple[int, int]:
+        # Processors hang one hop below their switch.
+        if network.is_processor(node):
+            return (tree.depth(network.switch_of(node)) + 1, node)
+        return (tree.depth(node), node)
+
+    channel_region = {
+        channel.cid: region_of[
+            channel.src if depth_key(channel.src) >= depth_key(channel.dst) else channel.dst
+        ]
+        for channel in network.channels()
+    }
+    boundary = sorted(
+        channel.cid
+        for channel in network.switch_channels()
+        if region_of[channel.src] != region_of[channel.dst]
+    )
+    return RegionAssignment(
+        regions=regions,
+        region_of=region_of,
+        channel_region=channel_region,
+        boundary_cids=tuple(boundary),
+    )
+
+
+class _ProbeMessage:
+    """Minimal ``MessageLike`` for static closure probing (never simulated)."""
+
+    __slots__ = ("source", "destinations", "routing_data")
+
+    def __init__(self, source: int, destinations: tuple[int, ...]) -> None:
+        self.source = source
+        self.destinations = destinations
+        self.routing_data: dict = {}
+
+
+def _channel_closure(
+    network: Network,
+    routing: RoutingAlgorithm,
+    source: int,
+    destinations: Sequence[int],
+    expand_all: bool,
+) -> frozenset[int]:
+    """Walk the routing decision graph from ``source``'s injection channel.
+
+    Consults the routing exactly the way the engine does —
+    ``decide(message, switch, in_channel)`` with the incoming channel of
+    the hop — and expands either *all* offered candidates of an adaptive
+    (``ONE_OF``) decision or only the most-preferred one.  ``ALL_OF``
+    decisions (multicast branch replication) always expand every channel:
+    the engine acquires them all.
+
+    Requires ``routing.decide`` to be a pure function of its arguments
+    (true for every routing algorithm in this repository built on a
+    stateless selection function); the walk would otherwise perturb the
+    state a later live run depends on.
+    """
+    probe = _ProbeMessage(source, tuple(destinations))
+    routing.prepare(probe)
+    injection = network.injection_channel(source)
+    closure: set[int] = {injection.cid}
+    visited: set[tuple[int, int]] = set()
+    frontier = [(injection.dst, injection)]
+    while frontier:
+        switch, in_channel = frontier.pop()
+        state = (switch, in_channel.cid)
+        if state in visited:
+            continue
+        visited.add(state)
+        decision = routing.decide(probe, switch, in_channel)
+        channels = decision.channels
+        if not expand_all and decision.mode is DecisionMode.ONE_OF:
+            channels = channels[:1]
+        for channel in channels:
+            closure.add(channel.cid)
+            if network.is_processor(channel.dst):
+                continue  # consumption channel: the worm terminates there
+            frontier.append((channel.dst, channel))
+    return frozenset(closure)
+
+
+def traversable_channels(
+    network: Network,
+    routing: RoutingAlgorithm,
+    source: int,
+    destinations: Sequence[int],
+) -> frozenset[int]:
+    """Every channel id a worm from ``source`` to ``destinations`` could touch.
+
+    Expands *all* candidates of every adaptive decision, so the result is
+    a superset of the channels acquired, OCRQ-queued on or bubbled into in
+    **any** execution of the message — the sound-by-construction (but
+    usually very coarse) coupling relation.
+    """
+    return _channel_closure(network, routing, source, destinations, expand_all=True)
+
+
+def preferred_channels(
+    network: Network,
+    routing: RoutingAlgorithm,
+    source: int,
+    destinations: Sequence[int],
+) -> frozenset[int]:
+    """The channels a worm from ``source`` uses when it runs uncontended.
+
+    Expands only the most-preferred candidate of each adaptive decision.
+    The engine's candidate scan takes the first *acquirable* candidate; on
+    an idle network every candidate is acquirable (a unicast worm's own
+    flits only ever hold channels behind its head, and multicast branch
+    replication is ``ALL_OF``, which this walk expands fully), so this
+    closure is exactly the channel set of a solo run.  Under contention a
+    live worm can deviate outside it — which is why preferred-mode shard
+    plans must be validated against the actually-touched channel sets
+    (see :mod:`repro.simulator.regions`).
+    """
+    return _channel_closure(network, routing, source, destinations, expand_all=False)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Grouping of a workload's messages into channel-disjoint shards.
+
+    Attributes
+    ----------
+    shards:
+        Per-shard tuples of message indices (positions in the submitted
+        workload), each ascending; shards ordered by their smallest index.
+        Each shard packs one or more closure-connected components, so two
+        messages in *different* shards never share a closure channel (the
+        converse does not hold: bin-packing may co-locate unrelated
+        components to respect the ``region_count`` parallelism bound).
+    message_regions:
+        Per-message sorted tuples of region indices owning the channels of
+        its closure.
+    confined_messages:
+        Messages whose closure channels are all owned by a single region.
+    """
+
+    shards: tuple[tuple[int, ...], ...]
+    message_regions: tuple[tuple[int, ...], ...]
+    confined_messages: int
+
+    @property
+    def coupled_messages(self) -> int:
+        """Messages whose closure spans two or more regions."""
+        return len(self.message_regions) - self.confined_messages
+
+
+def plan_shards(
+    network: Network,
+    routing: RoutingAlgorithm,
+    assignment: RegionAssignment,
+    submissions: Sequence[tuple[int, Sequence[int]]],
+    coupling: str = "preferred",
+) -> ShardPlan:
+    """Group ``submissions`` (``(source, destinations)`` pairs) into shards.
+
+    Messages whose closures share any channel land in the same
+    closure-connected component (messages from the same source share the
+    injection channel in particular), and the components are bin-packed —
+    largest first, onto the currently-lightest shard, ties to the lowest
+    index; all deterministic — into at most ``assignment.num_regions``
+    shards, so ``region_count`` bounds the number of parallel event loops
+    without ever splitting genuinely coupled messages.
+
+    ``coupling`` selects the closure: ``"preferred"`` (default) uses
+    :func:`preferred_channels` — the optimistic plan the region-parallel
+    executor validates and repairs at run time — and ``"traversable"``
+    uses :func:`traversable_channels`, which is sound without validation
+    but collapses to one shard under fully adaptive routing.
+    """
+    try:
+        closure_fn = {
+            "preferred": preferred_channels,
+            "traversable": traversable_channels,
+        }[coupling]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown shard coupling {coupling!r}; use 'preferred' or 'traversable'"
+        ) from None
+    channel_region = assignment.channel_region
+    # Union-find over message indices, keyed by the first message to claim
+    # each closure channel: shared channels connect messages.
+    parent = list(range(len(submissions)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    message_regions: list[tuple[int, ...]] = []
+    claimed: dict[int, int] = {}
+    for index, (source, destinations) in enumerate(submissions):
+        closure = closure_fn(network, routing, source, destinations)
+        if not closure:
+            raise RoutingError(f"message from {source} has an empty closure")
+        message_regions.append(tuple(sorted({channel_region[cid] for cid in closure})))
+        for cid in closure:
+            holder = claimed.setdefault(cid, index)
+            if holder != index:
+                parent[find(index)] = find(holder)
+
+    components: dict[int, list[int]] = {}
+    for index in range(len(submissions)):
+        components.setdefault(find(index), []).append(index)
+    # Bin-pack the components into at most num_regions shards: biggest
+    # component first onto the lightest shard (by message count), ties to
+    # the lowest shard index — deterministic, and a reasonable load spread
+    # under the proxy that simulation cost scales with message count.
+    shard_count = min(assignment.num_regions, len(components))
+    bins: list[list[int]] = [[] for _ in range(shard_count)]
+    ordered = sorted(components.values(), key=lambda ms: (-len(ms), ms[0]))
+    for members in ordered:
+        lightest = min(range(shard_count), key=lambda b: (len(bins[b]), b))
+        bins[lightest].extend(members)
+    shards = tuple(
+        sorted((tuple(sorted(members)) for members in bins if members), key=lambda s: s[0])
+    )
+    confined = sum(1 for regions in message_regions if len(regions) == 1)
+    return ShardPlan(
+        shards=shards,
+        message_regions=tuple(message_regions),
+        confined_messages=confined,
+    )

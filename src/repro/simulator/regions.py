@@ -1,0 +1,581 @@
+"""Region-parallel execution: one simulation, many processes, exact results.
+
+:func:`run_region_parallel` scales a *single* simulation across cores — the
+one engine cost the coalescing fast path cannot touch (churn phases) and
+the sweep layer cannot help with (it parallelizes across points, never
+within one run).  The decomposition:
+
+1. partition the switches into ``SimulationConfig.region_count`` regions
+   (:func:`repro.core.regions.assign_regions`, spanning-tree DFS chunks);
+2. group messages into *shards* by the regions their **preferred**
+   (contention-free) routes touch (:func:`repro.core.regions.plan_shards`)
+   — an optimistic plan: a live worm can deviate off its preferred route
+   under contention;
+3. run each shard through its own :class:`WormholeSimulator` over the full
+   network (same channel ids, same config, the reference engine's global
+   message ids via ``submit_message(..., mid=...)``), one process per
+   shard up to ``max_workers``;
+4. **validate**: collect each shard engine's
+   :attr:`~WormholeSimulator.touched_cids` and check the sets are pairwise
+   disjoint.  Shards whose touched sets collide are merged and re-run
+   (repeating until disjoint — worst case everything merges into one
+   shard, which *is* a reference run);
+5. merge per-shard statistics, traces and channel counters back into one
+   :class:`RegionRunResult`.
+
+**Exactness.** Disjoint touched sets imply one shard's events never read
+or write state another shard touches.  Writes are immediate: flits,
+reservations and OCRQ entries only ever land on touched channels.  Reads
+need one engine fact: the routing decision's candidate scan short-circuits
+at the first acquirable candidate, so every candidate it *examines* is
+either blocked — reserved or OCRQ-queued by an earlier enqueue of the same
+engine, hence already touched — or is the chosen channel, which the
+decision then enqueues on (touched again).  A decision therefore never
+reads a channel outside its own engine's touched set, and with the sets
+pairwise disjoint each shard's run is the reference run *restricted to
+that shard's messages*, event for event, timestamp for timestamp — by
+induction over event time, with the fast path bridged by its own
+per-engine equivalence contract (``docs/fast_path.md``).  Summed counters,
+per-message records, per-message trace streams and per-channel utilisation
+are bit-identical to the single-process engine.  The one artifact the
+decomposition does not reproduce is the reference engine's interleaving of
+*different messages'* events within one timestamp (a tie-breaking artifact
+of its global event sequence counter, explicitly not part of the
+observability contract): :func:`observable_fingerprint` canonicalizes
+exactly that order and nothing else, and the region-vs-whole differential
+harness (``tests/test_regions.py``) holds both engines to it.
+
+**Lookahead.** The conservative-synchronization alternative (free-running
+region processes exchanging boundary flits with lookahead equal to the
+boundary channel latency) is unsound for this engine: wormhole backpressure
+feeds credits *backwards* across any cut with zero latency, so the
+effective lookahead of a cut-straddling worm is nil.  Slow cut links
+(``channel_latency_factors``) lengthen only the forward direction and buy
+nothing.  ``docs/region_parallel.md`` §"Why not free-running regions"
+works the argument; optimistic shard decomposition is what remains sound,
+and it parallelizes exactly the workloads whose messages *actually* stay
+region-local — paying a deterministic merge-and-re-run when they do not.
+
+Requirements checked at run time: the routing's selection function must be
+stateless (``RandomSelection`` couples every message through one RNG
+stream), and the workload must be open-loop (plain submissions; this API
+takes message specs, so delivery/completion callbacks cannot exist).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.interface import RoutingAlgorithm
+from ..core.regions import assign_regions, plan_shards
+from ..errors import ConfigurationError
+from ..topology.network import Network
+from .config import SimulationConfig
+from .engine import WormholeSimulator
+from .stats import ChannelRecord, MessageRecord, SimulationStats
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "MessageView",
+    "RegionRunResult",
+    "run_region_parallel",
+    "observable_fingerprint",
+    "simulator_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class MessageView:
+    """Per-message observables, picklable across the worker boundary."""
+
+    mid: int
+    source: int
+    destinations: tuple[int, ...]
+    created_ns: int
+    completed_ns: int | None
+    delivered_ns: dict[int, int]
+    hops: int
+    is_complete: bool
+
+
+@dataclass
+class RegionRunResult:
+    """Merged outcome of a region-parallel run.
+
+    The ``region_*`` attributes are observability counters in the same
+    sense as the engine's ``coalesce_*`` family (``docs/engine_counters.md``
+    is normative): facts about *how* the run executed, never part of the
+    simulation's observable results.
+    """
+
+    stats: SimulationStats
+    trace: Trace | None
+    messages: dict[int, Any]
+    now: int
+    #: Effective number of regions the switches were split into (the
+    #: requested ``region_count`` clamped to the switch count).
+    region_count: int
+    #: Shards the optimistic plan proposed (preferred-route grouping),
+    #: before any validation merges.
+    region_planned_shards: int
+    #: Channel-disjoint shards the run finally executed as — the realised
+    #: parallelism, after merging every touched-set collision.
+    region_shards: int
+    #: Shard runs re-executed because validation merged colliding shards
+    #: (0 on a workload whose traffic stayed on disjoint channels).
+    region_conflict_reruns: int
+    #: Switch-to-switch channels whose endpoints fall in different regions.
+    region_boundary_channels: int
+    #: Messages whose preferred route stays inside one region.
+    region_confined_messages: int
+    #: Messages whose preferred route spans two or more regions.
+    region_coupled_messages: int
+    #: Worker processes used (0 when every shard ran in-process).
+    region_processes: int
+
+    def fingerprint(self) -> dict:
+        """Canonical observable fingerprint (see :func:`observable_fingerprint`)."""
+        return observable_fingerprint(
+            stats=self.stats, trace=self.trace, messages=self.messages, now=self.now
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs: full network, its shard's messages only."""
+
+    network: Network
+    routing: RoutingAlgorithm
+    config: SimulationConfig
+    #: ``(mid, source, destinations, at_ns, metadata)`` per message,
+    #: ascending mid (= position in the submitted workload).
+    submissions: tuple[tuple[int, int, tuple[int, ...], int, dict], ...]
+    until_ns: int | None
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """Observables of one shard run, picklable back to the parent."""
+
+    records: tuple[MessageRecord, ...]
+    channel_records: tuple[ChannelRecord, ...]
+    messages_submitted: int
+    messages_completed: int
+    flit_hops: int
+    bubbles_created: int
+    now: int
+    trace_events: tuple[TraceEvent, ...] | None
+    messages: tuple[MessageView, ...]
+    #: The engine's touched-channel set (see
+    #: :attr:`WormholeSimulator.touched_cids`); the validation input.
+    touched_cids: frozenset[int]
+
+
+def _run_shard_task(task: _ShardTask) -> _ShardResult:
+    """Worker entry point: run one shard's messages on a private engine.
+
+    Module-level and pure by the process-pool contract (repro-lint R7):
+    all state arrives in ``task``, all results leave in the return value.
+    """
+    simulator = WormholeSimulator(task.network, task.routing, task.config)
+    for mid, source, destinations, at_ns, metadata in task.submissions:
+        simulator.submit_message(
+            source, destinations, at_ns=at_ns, metadata=metadata, mid=mid
+        )
+    stats = simulator.run(until_ns=task.until_ns)
+    views = tuple(
+        MessageView(
+            mid=message.mid,
+            source=message.source,
+            destinations=tuple(message.destinations),
+            created_ns=message.created_ns,
+            completed_ns=message.completed_ns,
+            delivered_ns=dict(message.delivered_ns),
+            hops=message.hops,
+            is_complete=message.is_complete,
+        )
+        for message in simulator.messages.values()
+    )
+    return _ShardResult(
+        records=tuple(stats.records),
+        channel_records=tuple(stats.channel_records),
+        messages_submitted=stats.messages_submitted,
+        messages_completed=stats.messages_completed,
+        flit_hops=stats.flit_hops,
+        bubbles_created=stats.bubbles_created,
+        now=simulator.now,
+        trace_events=None if simulator.trace is None else tuple(simulator.trace.events),
+        messages=views,
+        touched_cids=frozenset(simulator.touched_cids),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _resolve_workers(max_workers: int | None, shard_count: int) -> int:
+    """Effective process count: explicit value, else ``$REPRO_REGION_WORKERS``,
+    else one per CPU; always capped by the shard count.  ``0`` and ``1``
+    both mean in-process sequential execution (results are identical by
+    construction; the knob changes wall-clock only)."""
+    if max_workers is None:
+        raw = os.environ.get("REPRO_REGION_WORKERS", "")  # repro-lint: disable=R4 -- worker count changes wall-clock only; results are bit-identical by the region-vs-whole differential
+        max_workers = int(raw) if raw else (os.cpu_count() or 1)
+    return max(0, min(max_workers, shard_count))
+
+
+def _merge_results(
+    results: Sequence[_ShardResult],
+    network: Network,
+    config: SimulationConfig,
+    until_ns: int | None,
+) -> tuple[SimulationStats, Trace | None, dict[int, MessageView], int]:
+    stats = SimulationStats()
+    stats.records = sorted(
+        (record for result in results for record in result.records),
+        key=lambda record: (record.completed_ns, record.mid),
+    )
+    stats.messages_submitted = sum(r.messages_submitted for r in results)
+    stats.messages_completed = sum(r.messages_completed for r in results)
+    stats.flit_hops = sum(r.flit_hops for r in results)
+    stats.bubbles_created = sum(r.bubbles_created for r in results)
+    now = until_ns if until_ns is not None else max((r.now for r in results), default=0)
+    stats.end_time_ns = now
+    if config.collect_channel_stats:
+        # Shards are channel-disjoint, so at most one shard contributes a
+        # nonzero count per channel; summing reproduces the reference
+        # engine's per-link totals exactly (all-zero links included).
+        data: dict[int, int] = {}
+        bubble: dict[int, int] = {}
+        busy: dict[int, int] = {}
+        for result in results:
+            for record in result.channel_records:
+                data[record.cid] = data.get(record.cid, 0) + record.data_flits
+                bubble[record.cid] = bubble.get(record.cid, 0) + record.bubble_flits
+                busy[record.cid] = busy.get(record.cid, 0) + record.busy_ns
+        stats.channel_records = [
+            ChannelRecord(
+                cid=channel.cid,
+                src=channel.src,
+                dst=channel.dst,
+                data_flits=data.get(channel.cid, 0),
+                bubble_flits=bubble.get(channel.cid, 0),
+                busy_ns=busy.get(channel.cid, 0),
+            )
+            for channel in network.channels()
+        ]
+    trace: Trace | None = None
+    if config.trace:
+        events = [
+            event for result in results for event in (result.trace_events or ())
+        ]
+        # Stable sort over the shard-ordered concatenation: deterministic
+        # regardless of completion order.  Same-timestamp events of
+        # different shards keep shard order, which may differ from the
+        # reference engine's global tie-break (see observable_fingerprint).
+        events.sort(key=lambda event: event.time_ns)
+        trace = Trace(events=events)
+    messages = {
+        view.mid: view for result in results for view in result.messages
+    }
+    messages = dict(sorted(messages.items()))
+    return stats, trace, messages, now
+
+
+def run_region_parallel(
+    network: Network,
+    routing: RoutingAlgorithm,
+    config: SimulationConfig,
+    workload: Iterable[Any],
+    until_ns: int | None = None,
+    max_workers: int | None = None,
+) -> RegionRunResult:
+    """Run one simulation region-parallel; results match the reference engine.
+
+    Parameters
+    ----------
+    network, routing, config:
+        Exactly what :class:`WormholeSimulator` takes.  ``config.region_count``
+        sets the region partition; the routing's selection function must be
+        stateless (checked).
+    workload:
+        Open-loop submissions: an iterable of objects with ``source``,
+        ``destinations``, ``at_ns`` and ``metadata`` attributes
+        (:class:`repro.traffic.workload.MessageSpec`; a
+        :class:`~repro.traffic.workload.Workload` iterates as such).
+        Message ids are assigned by position, matching a reference engine
+        fed the same sequence.
+    until_ns:
+        Bounded-run horizon (one window; resumption is not supported here).
+    max_workers:
+        Worker processes; ``None`` defers to ``$REPRO_REGION_WORKERS`` then
+        one per CPU, ``0``/``1`` run every shard in-process (identical
+        results, no pickling — what most tests use).
+
+    Returns a :class:`RegionRunResult`; ``stats``/``trace``/``messages``
+    mirror the reference engine's observables up to same-timestamp
+    cross-shard trace order (canonicalized by
+    :func:`observable_fingerprint`).  With one region — or any workload
+    that collapses into one shard — the run *is* a reference run.
+
+    Shards are planned optimistically from preferred routes and validated
+    against the channels each shard engine actually touched; colliding
+    shards merge and re-run until the touched sets are pairwise disjoint
+    (``region_conflict_reruns`` counts the repairs).  Both the plan and
+    the repair sequence are deterministic, so the result — and the exact
+    set of shard runs performed — is a pure function of the inputs.
+
+    Raises :class:`~repro.errors.ConfigurationError` for stateful
+    selections and :class:`~repro.errors.DeadlockError` when a shard
+    deadlocks (shards are checked in shard order, so the raised error is
+    deterministic; its report describes that shard's stall, not the global
+    picture the reference engine would print).
+    """
+    selection = getattr(routing, "selection", None)
+    if selection is not None and not getattr(selection, "stateless", True):
+        raise ConfigurationError(
+            "region-parallel execution requires a stateless selection function: "
+            f"{getattr(selection, 'name', type(selection).__name__)!r} consumes "
+            "shared RNG state per decision, which couples every message in the "
+            "run (see docs/region_parallel.md)"
+        )
+    specs = list(workload)
+    tree = getattr(routing, "tree", None)
+    assignment = assign_regions(network, config.region_count, tree=tree)
+    plan = plan_shards(
+        network,
+        routing,
+        assignment,
+        [(spec.source, spec.destinations) for spec in specs],
+    )
+    submissions = tuple(
+        (
+            mid,
+            spec.source,
+            tuple(spec.destinations),
+            spec.at_ns,
+            dict(spec.metadata),
+        )
+        for mid, spec in enumerate(specs)
+    )
+    # Groups of message indices; starts as the optimistic plan and coarsens
+    # whenever validation detects a touched-set collision.  The empty
+    # workload still runs one empty engine so the reference observables
+    # (zeroed channel records, the bounded-run clock advance, ...) are
+    # reproduced exactly.
+    groups: list[tuple[int, ...]] = list(plan.shards) or [()]
+    results: list[_ShardResult | None] = [None] * len(groups)
+    processes = 0
+    reruns = 0
+
+    def run_pending() -> None:
+        nonlocal processes
+        pending = [index for index, result in enumerate(results) if result is None]
+        tasks = {
+            index: _ShardTask(
+                network=network,
+                routing=routing,
+                config=config,
+                submissions=tuple(submissions[mid] for mid in groups[index]),
+                until_ns=until_ns,
+            )
+            for index in pending
+        }
+        workers = _resolve_workers(max_workers, len(pending))
+        if workers <= 1 or len(pending) == 1:
+            for index in pending:
+                results[index] = _run_shard_task(tasks[index])
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [(index, pool.submit(_run_shard_task, tasks[index])) for index in pending]
+                # Collect in shard order: deterministic merge input and a
+                # deterministic first error (e.g. a shard's DeadlockError).
+                for index, future in futures:
+                    results[index] = future.result()
+            processes = max(processes, workers)
+
+    run_pending()
+    while len(groups) > 1:
+        # Validate: the merged result is exact iff the per-shard touched
+        # sets are pairwise disjoint (see the module docstring).  Colliding
+        # shards merge — union-find over shard indices keyed by the first
+        # shard to claim each channel — and re-run together.
+        parent = list(range(len(groups)))
+
+        def find(index: int) -> int:
+            while parent[index] != index:
+                parent[index] = parent[parent[index]]
+                index = parent[index]
+            return index
+
+        claimed: dict[int, int] = {}
+        clean = True
+        for index, result in enumerate(results):
+            assert result is not None
+            for cid in result.touched_cids:
+                holder = claimed.setdefault(cid, index)
+                if holder != index:
+                    parent[find(index)] = find(holder)
+                    clean = False
+        if clean:
+            break
+        merged: dict[int, list[int]] = {}
+        for index in range(len(groups)):
+            merged.setdefault(find(index), []).append(index)
+        next_groups: list[tuple[int, ...]] = []
+        next_results: list[_ShardResult | None] = []
+        for members in sorted(merged.values(), key=lambda ms: min(groups[m][0] for m in ms if groups[m])):
+            if len(members) == 1:
+                # Untouched by the collision: keep the finished result.
+                next_groups.append(groups[members[0]])
+                next_results.append(results[members[0]])
+            else:
+                next_groups.append(tuple(sorted(mid for m in members for mid in groups[m])))
+                next_results.append(None)
+                reruns += 1
+        groups = next_groups
+        results = next_results
+        run_pending()
+
+    final_results = [result for result in results if result is not None]
+    stats, trace, messages, now = _merge_results(final_results, network, config, until_ns)
+    return RegionRunResult(
+        stats=stats,
+        trace=trace,
+        messages=messages,
+        now=now,
+        region_count=assignment.num_regions,
+        region_planned_shards=len(plan.shards),
+        region_shards=len(groups),
+        region_conflict_reruns=reruns,
+        region_boundary_channels=len(assignment.boundary_cids),
+        region_confined_messages=plan.confined_messages,
+        region_coupled_messages=plan.coupled_messages,
+        region_processes=processes,
+    )
+
+
+# ----------------------------------------------------------------------
+# The equivalence fingerprint
+# ----------------------------------------------------------------------
+def _canonical_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((key, _canonical_value(item)) for key, item in value.items())
+        )
+    return value
+
+
+def _canonical_event(event: TraceEvent) -> tuple:
+    return (
+        event.time_ns,
+        event.kind,
+        tuple(sorted((key, _canonical_value(value)) for key, value in event.fields.items())),
+    )
+
+
+def _canonical_trace(trace: Trace | None) -> dict | None:
+    """Trace grouped per message, preserving each message's event order.
+
+    Every engine trace kind carries a ``message`` field; per-message
+    streams are total-order-preserved by both the reference engine and the
+    shard decomposition, so grouping by message (and sorting the rare
+    messageless bucket canonically) removes exactly the same-timestamp
+    cross-message interleaving that is an engine tie-breaking artifact —
+    and nothing else.
+    """
+    if trace is None:
+        return None
+    per_message: dict[Any, list[tuple]] = {}
+    for event in trace.events:
+        per_message.setdefault(event.fields.get("message"), []).append(
+            _canonical_event(event)
+        )
+    grouped = {
+        key: tuple(events) for key, events in per_message.items() if key is not None
+    }
+    floating = per_message.get(None)
+    return {
+        "per_message": dict(sorted(grouped.items())),
+        "floating": tuple(sorted(floating)) if floating else (),
+    }
+
+
+def observable_fingerprint(
+    stats: SimulationStats,
+    trace: Trace | None,
+    messages: Mapping[int, Any],
+    now: int,
+) -> dict:
+    """Canonical rendering of everything observable about a finished run.
+
+    Two runs are equivalent under the region-parallel contract iff their
+    fingerprints compare equal.  The canonicalization is *minimal*: message
+    records sort by ``(completed_ns, mid)`` (the reference appends in
+    completion order with an arbitrary same-timestamp tie-break), trace
+    events group per message with each stream's order preserved, channel
+    records sort by cid.  Timestamps, per-message event streams, delivery
+    times, hop/bubble/flit counters and the final clock are compared raw —
+    byte-identical or the comparison fails.
+    """
+    summary = {
+        key: (None if value != value else value)  # normalise NaN for ==
+        for key, value in stats.summary().items()
+    }
+    records = tuple(
+        sorted(
+            (
+                (
+                    record.mid,
+                    record.kind,
+                    record.source,
+                    record.num_destinations,
+                    record.length_flits,
+                    record.created_ns,
+                    record.startup_began_ns,
+                    record.completed_ns,
+                    record.latency_from_creation_ns,
+                    record.latency_from_startup_ns,
+                    record.hops,
+                    _canonical_value(record.metadata),
+                )
+                for record in stats.records
+            ),
+            key=lambda row: (row[7], row[0]),
+        )
+    )
+    return {
+        "summary": summary,
+        "records": records,
+        "trace": _canonical_trace(trace),
+        "deliveries": {
+            mid: dict(message.delivered_ns) for mid, message in sorted(messages.items())
+        },
+        "completions": {
+            mid: message.completed_ns for mid, message in sorted(messages.items())
+        },
+        "hops": {mid: message.hops for mid, message in sorted(messages.items())},
+        "channels": sorted(
+            (record.cid, record.data_flits, record.bubble_flits, record.busy_ns)
+            for record in stats.channel_records
+        ),
+        "now": now,
+    }
+
+
+def simulator_fingerprint(simulator: WormholeSimulator, stats: SimulationStats | None = None) -> dict:
+    """:func:`observable_fingerprint` of a (finished) reference engine run."""
+    return observable_fingerprint(
+        stats=simulator.stats if stats is None else stats,
+        trace=simulator.trace,
+        messages=simulator.messages,
+        now=simulator.now,
+    )

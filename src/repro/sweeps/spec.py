@@ -333,7 +333,23 @@ def _simulation_config(spec: SweepPointSpec) -> SimulationConfig:
 
 
 def _run_latencies(network, routing, workload, config, from_creation: bool) -> list[float]:
-    """Run ``workload`` on a fresh simulator and return per-message latencies (µs)."""
+    """Run ``workload`` on a fresh simulator and return per-message latencies (µs).
+
+    ``config.region_parallel`` routes the run through the region-parallel
+    decomposition (:func:`repro.simulator.regions.run_region_parallel`) with
+    in-process shard execution: sweep evaluation already runs inside the
+    scheduler's worker processes, so nesting another process pool would
+    oversubscribe the host.  Results are identical either way — that is the
+    region-parallel contract (``docs/region_parallel.md``) — so the knob
+    only changes *how* the point is computed, never what it reports.
+    """
+    if config.region_parallel:
+        from ..simulator.regions import run_region_parallel
+
+        result = run_region_parallel(
+            network, routing, config, workload, max_workers=0
+        )
+        return result.stats.latencies_us(from_creation=from_creation)
     simulator = WormholeSimulator(network, routing, config)
     workload.submit_to(simulator)
     stats = simulator.run()

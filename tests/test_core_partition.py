@@ -82,6 +82,45 @@ class TestOtherStrategies:
         assert a == b
         assert sorted(sum(a, [])) == sorted(destinations)
 
+    def test_random_partition_accepts_caller_owned_generator(
+        self, lattice32, lattice_tree
+    ):
+        """The documented seed contract: an explicit Generator is used in
+        place and advanced (two calls on one stream differ; two fresh
+        streams from the same seed match the integer-seed path), and the
+        input sequence is never mutated."""
+        import numpy as np
+
+        destinations = all_destinations(lattice32, 10)
+        frozen = list(destinations)
+
+        from_int = partition_random(lattice_tree, destinations, 3, seed=7)
+        from_gen = partition_random(
+            lattice_tree, destinations, 3, seed=np.random.default_rng(7)
+        )
+        assert from_gen == from_int
+
+        stream = np.random.default_rng(7)
+        first = partition_random(lattice_tree, destinations, 3, seed=stream)
+        second = partition_random(lattice_tree, destinations, 3, seed=stream)
+        assert first == from_int  # the stream's first draw matches a fresh rng
+        assert second != first  # ... and the stream advanced in place
+        assert destinations == frozen
+
+    def test_random_partition_ignores_global_numpy_state(
+        self, lattice32, lattice_tree
+    ):
+        """Reseeding the *global* numpy RNG must not change the result:
+        randomness flows only from the explicit seed argument."""
+        import numpy as np
+
+        destinations = all_destinations(lattice32, 10)
+        np.random.seed(123)
+        a = partition_random(lattice_tree, destinations, 3, seed=5)
+        np.random.seed(321)
+        b = partition_random(lattice_tree, destinations, 3, seed=5)
+        assert a == b
+
     def test_dispatch_and_errors(self, lattice32, lattice_tree):
         destinations = all_destinations(lattice32, 8)
         for strategy in ("contiguous", "subtree", "random"):

@@ -1,0 +1,483 @@
+"""Region-vs-whole differential tests for region-parallel execution.
+
+The region-parallel contract is *bit-identical observable behaviour*: a
+workload decomposed into shards by :func:`repro.simulator.regions.run_region_parallel`
+must reproduce the single-process reference engine's delivery timestamps,
+trace records, message statistics, flit-hop/bubble counters and per-channel
+utilisation exactly (see ``docs/region_parallel.md`` for the contract and
+the exactness argument).  The one canonicalization allowed is the reference
+engine's same-timestamp interleaving of *different* messages' trace events
+— a tie-breaking artifact of its global event sequence counter — which
+:func:`~repro.simulator.regions.observable_fingerprint` removes on both
+sides and nothing else.
+
+Every shipped equivalence scenario from ``tests/test_fast_path.py`` runs
+here through the differential at 2 and 4 regions (most collapse to one
+shard — global traffic couples everything — which is itself the contract's
+degenerate guarantee: one shard *is* a reference run).  The genuinely
+multi-shard paths — a clean 4-shard region-local workload, a workload that
+exercises the touched-set conflict detector and its merge-and-re-run
+repair, and a real process pool — are pinned by the region-local tests,
+with non-vacuity asserted through the ``region_*`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.regions import (
+    assign_regions,
+    plan_shards,
+    preferred_channels,
+    traversable_channels,
+)
+from repro.core.selection import RandomSelection
+from repro.core.spam import SpamRouting
+from repro.errors import ConfigurationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.simulator.regions import (
+    run_region_parallel,
+    simulator_fingerprint,
+)
+from repro.traffic.arrivals import NegativeBinomialArrivals, PoissonArrivals
+from repro.traffic.workload import MessageSpec, Workload, mixed_traffic_workload
+
+#: With ``$REPRO_REGION_WORKERS`` set (the CI region-parallel leg exports 2)
+#: the differential defers to it — every multi-shard scenario then crosses a
+#: real process boundary.  Unset, shards run in-process: identical results
+#: by the contract under test, and fast on one core.
+_MAX_WORKERS = None if os.environ.get("REPRO_REGION_WORKERS") else 0
+
+
+def _reference_fingerprint(network, routing, config, specs, until_ns=None):
+    """Fingerprint of the single-process reference engine on ``specs``."""
+    simulator = WormholeSimulator(network, routing, config)
+    for spec in specs:
+        simulator.submit_message(
+            spec.source, spec.destinations, at_ns=spec.at_ns, metadata=dict(spec.metadata)
+        )
+    stats = simulator.run(until_ns=until_ns)
+    return simulator_fingerprint(simulator, stats)
+
+
+def _differential(
+    network,
+    routing,
+    specs,
+    flits,
+    region_counts=(2, 4),
+    until_ns=None,
+    **overrides,
+):
+    """Assert region-parallel output identical to the reference at each count.
+
+    Returns the last :class:`RegionRunResult` for extra assertions.
+    """
+    specs = list(specs)
+    result = None
+    for region_count in region_counts:
+        config = SimulationConfig(
+            message_length_flits=flits,
+            trace=True,
+            collect_channel_stats=True,
+            region_parallel=True,
+            region_count=region_count,
+            **overrides,
+        )
+        reference = _reference_fingerprint(network, routing, config, specs, until_ns)
+        result = run_region_parallel(
+            network, routing, config, specs, until_ns=until_ns, max_workers=_MAX_WORKERS
+        )
+        assert result.fingerprint() == reference, (
+            f"region-parallel run diverged from the reference at "
+            f"region_count={region_count}"
+        )
+    return result
+
+
+def _region_local_workload(network, tree, seed, pairs_per_region=3, flood=2):
+    """Unicast pairs drawn inside each of 4 regions, ``flood`` repeats each.
+
+    The repeats 50 ns apart create intra-shard contention, which is what
+    makes worms deviate off their preferred routes — the only mechanism
+    that can produce a touched-set conflict between shards.
+    """
+    assignment = assign_regions(network, 4, tree=tree)
+    rng = random.Random(seed)
+    workload = Workload(f"region-local-{seed}")
+    for switches in assignment.regions:
+        processors = [p for sw in switches for p in network.processors_of(sw)]
+        for _ in range(pairs_per_region):
+            source, dest = rng.sample(processors, 2)
+            for repeat in range(flood):
+                workload.specs.append(MessageSpec(source, (dest,), repeat * 50))
+    workload.specs.sort(key=lambda spec: spec.at_ns)
+    return workload
+
+
+@pytest.mark.equivalence
+class TestRegionVsWholeDifferential:
+    """Every shipped equivalence scenario, region-parallel vs reference."""
+
+    def test_figure1_multicast_with_replication_bubbles(self, figure1):
+        spam = SpamRouting.build(figure1.network, root=figure1.root)
+        specs = [MessageSpec(figure1.source, tuple(figure1.destinations), 0)]
+        _differential(figure1.network, spam, specs, flits=64)
+
+    def test_lattice_broadcast_steady_state(self, lattice32, lattice32_spam):
+        source = lattice32.processors()[0]
+        destinations = tuple(p for p in lattice32.processors() if p != source)
+        specs = [MessageSpec(source, destinations, 0)]
+        _differential(lattice32, lattice32_spam, specs, flits=128)
+
+    def test_contended_ocrq_multicasts(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        specs = [
+            MessageSpec(
+                processors[index],
+                tuple(p for p in processors[8:20] if p != processors[index]),
+                0,
+            )
+            for index in range(6)
+        ]
+        _differential(lattice32, lattice32_spam, specs, flits=64)
+
+    def test_cross_traffic_unicasts(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        specs = [
+            MessageSpec(
+                processors[index], (processors[(index + 11) % len(processors)],), 0
+            )
+            for index in range(8)
+        ]
+        _differential(lattice32, lattice32_spam, specs, flits=256)
+
+    @pytest.mark.parametrize(
+        "arrival_cls", [NegativeBinomialArrivals, PoissonArrivals]
+    )
+    def test_paper_length_mixed_traffic(self, lattice32, lattice32_spam, arrival_cls):
+        """The 128-flit churn-regime workload of ``TestChurnPhaseBackoff``."""
+        workload = mixed_traffic_workload(
+            lattice32,
+            rate_per_us=0.03,
+            multicast_destinations=8,
+            num_messages=36,
+            multicast_fraction=0.15,
+            seed=23,
+            arrival_process=arrival_cls(0.03),
+        )
+        _differential(lattice32, lattice32_spam, workload, flits=128)
+
+    def test_slow_channel_multi_period(self, lattice32, lattice32_spam):
+        """The every-2nd-window compound-period scenario of
+        ``TestMultiPeriodCoalescing``: the fast path inside each shard
+        engine must still verify and replay the slow-channel pattern."""
+        processors = lattice32.processors()
+        factors = ((lattice32.injection_channel(processors[0]).cid, 2),)
+        specs = [MessageSpec(processors[0], (processors[11],), 0)]
+        _differential(
+            lattice32,
+            lattice32_spam,
+            specs,
+            flits=256,
+            channel_latency_factors=factors,
+        )
+
+    def test_mixed_compound_periods(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        factors = (
+            (lattice32.injection_channel(processors[0]).cid, 2),
+            (lattice32.injection_channel(processors[1]).cid, 3),
+        )
+        specs = [
+            MessageSpec(processors[0], (processors[11],), 0),
+            MessageSpec(processors[1], (processors[14],), 0),
+        ]
+        _differential(
+            lattice32,
+            lattice32_spam,
+            specs,
+            flits=256,
+            channel_latency_factors=factors,
+        )
+
+    def test_bounded_run_window(self, lattice32, lattice32_spam):
+        """A single bounded window cut mid-stream: clocks, open busy
+        periods and incomplete messages must all match the reference."""
+        source = lattice32.processors()[0]
+        destinations = tuple(p for p in lattice32.processors() if p != source)
+        specs = [MessageSpec(source, destinations, 0)]
+        result = _differential(
+            lattice32, lattice32_spam, specs, flits=256, until_ns=11_000
+        )
+        assert result.now == 11_000
+
+    def test_region_local_traffic_runs_multi_shard(self, lattice32, lattice32_spam):
+        """Region-confined unicast pairs must actually decompose: the plan
+        proposes 4 shards, validation keeps them (no conflict), and the
+        merged result is identical — the non-vacuous parallel case."""
+        workload = _region_local_workload(lattice32, lattice32_spam.tree, seed=1)
+        result = _differential(
+            lattice32, lattice32_spam, workload, flits=64, region_counts=(4,)
+        )
+        assert result.region_planned_shards == 4
+        assert result.region_shards == 4
+        assert result.region_conflict_reruns == 0
+        # Intra-region pairs mostly stay on channels their region owns;
+        # a route may still climb through a channel owned by a shallower
+        # region (ownership is an observability quotient, not the shard
+        # criterion), so coupled > 0 is fine — disjointness is what counts.
+        assert result.region_confined_messages > result.region_coupled_messages
+        assert (
+            result.region_confined_messages + result.region_coupled_messages
+            == len(workload)
+        )
+
+    def test_conflict_detection_merges_and_reruns(self, lattice32, lattice32_spam):
+        """A workload whose contention drives a worm off its preferred
+        route: the optimistic 4-shard plan is wrong, the touched-set
+        validator must catch the collision, merge the colliding shards,
+        re-run them — and the repaired result must still be identical."""
+        workload = _region_local_workload(lattice32, lattice32_spam.tree, seed=0)
+        result = _differential(
+            lattice32, lattice32_spam, workload, flits=64, region_counts=(4,)
+        )
+        assert result.region_planned_shards == 4
+        assert result.region_conflict_reruns >= 1
+        assert result.region_shards < result.region_planned_shards
+
+
+@pytest.mark.equivalence
+class TestProcessPool:
+    def test_real_worker_processes_identical(self, lattice32, lattice32_spam):
+        """The same clean 4-shard workload through a real 4-process pool:
+        pickling the network/routing/config out and the shard observables
+        back must not perturb a single bit."""
+        workload = _region_local_workload(lattice32, lattice32_spam.tree, seed=1)
+        config = SimulationConfig(
+            message_length_flits=64,
+            trace=True,
+            collect_channel_stats=True,
+            region_parallel=True,
+            region_count=4,
+        )
+        reference = _reference_fingerprint(lattice32, lattice32_spam, config, workload)
+        result = run_region_parallel(
+            lattice32, lattice32_spam, config, workload, max_workers=4
+        )
+        assert result.fingerprint() == reference
+        assert result.region_shards == 4
+        assert result.region_processes == 4
+
+
+class TestDegeneratePartitions:
+    def test_single_region_is_reference_run(self, lattice32, lattice32_spam):
+        """``region_count=1`` must collapse to exactly one shard — a
+        reference run — and still fingerprint-match today's engine."""
+        workload = mixed_traffic_workload(
+            lattice32,
+            rate_per_us=0.03,
+            multicast_destinations=8,
+            num_messages=12,
+            multicast_fraction=0.2,
+            seed=5,
+        )
+        result = _differential(
+            lattice32, lattice32_spam, workload, flits=64, region_counts=(1,)
+        )
+        assert result.region_count == 1
+        assert result.region_shards == 1
+        assert result.region_boundary_channels == 0
+        assert result.region_conflict_reruns == 0
+
+    def test_region_count_clamped_to_switch_count(self, lattice32, lattice32_spam):
+        """Asking for more regions than switches degenerates to one switch
+        per region — and must still be exact."""
+        processors = lattice32.processors()
+        specs = [
+            MessageSpec(processors[index], (processors[index + 8],), 0)
+            for index in range(4)
+        ]
+        result = _differential(
+            lattice32, lattice32_spam, specs, flits=32, region_counts=(64,)
+        )
+        assert result.region_count == len(lattice32.switches())
+
+    def test_region_with_no_injecting_processors(self, lattice32, lattice32_spam):
+        """All traffic from one region's processors: other regions inject
+        nothing, shards cover only the active sources, results identical."""
+        assignment = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        active = [
+            p for sw in assignment.regions[0] for p in lattice32.processors_of(sw)
+        ]
+        everyone = lattice32.processors()
+        specs = [
+            MessageSpec(source, (everyone[(index * 7 + 3) % len(everyone)],), 0)
+            for index, source in enumerate(active[:4])
+        ]
+        _differential(lattice32, lattice32_spam, specs, flits=32)
+
+    def test_empty_workload(self, lattice32, lattice32_spam):
+        """Zero messages must still reproduce the reference observables —
+        zeroed per-channel records and the bounded-run clock advance."""
+        result = _differential(
+            lattice32, lattice32_spam, [], flits=32, until_ns=5_000
+        )
+        assert result.now == 5_000
+        assert result.stats.messages_submitted == 0
+        assert result.region_shards == 1  # one empty engine
+
+    def test_two_switch_minimal_network(self, two_switch):
+        spam = SpamRouting.build(two_switch)
+        source, dest = two_switch.processors()
+        _differential(two_switch, spam, [MessageSpec(source, (dest,), 0)], flits=8)
+
+
+class TestRuntimeGuards:
+    def test_stateful_selection_rejected(self, lattice32):
+        """``RandomSelection`` consumes shared RNG state per decision —
+        every message couples through one stream, so shard decomposition
+        is unsound and must be refused up front."""
+        routing = SpamRouting.build(lattice32, selection=RandomSelection(seed=1))
+        config = SimulationConfig(message_length_flits=32, region_count=2)
+        processors = lattice32.processors()
+        specs = [MessageSpec(processors[0], (processors[5],), 0)]
+        with pytest.raises(ConfigurationError, match="stateless selection"):
+            run_region_parallel(lattice32, routing, config, specs, max_workers=0)
+
+    def test_region_count_validated_by_config(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(region_count=0)
+
+
+class TestShardPlanning:
+    def test_same_source_messages_share_a_shard(self, lattice32, lattice32_spam):
+        """Two messages from one source serialise on the injection channel;
+        the plan must never split them."""
+        assignment = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        processors = lattice32.processors()
+        plan = plan_shards(
+            lattice32,
+            lattice32_spam,
+            assignment,
+            [
+                (processors[0], (processors[9],)),
+                (processors[4], (processors[13],)),
+                (processors[0], (processors[11],)),
+            ],
+        )
+        shard_of = {
+            mid: index for index, shard in enumerate(plan.shards) for mid in shard
+        }
+        assert shard_of[0] == shard_of[2]
+
+    def test_shard_count_bounded_by_region_count(self, lattice32, lattice32_spam):
+        """More independent components than regions: bin-packing must fold
+        them into at most ``region_count`` shards without splitting any."""
+        assignment = assign_regions(lattice32, 2, tree=lattice32_spam.tree)
+        workload = _region_local_workload(lattice32, lattice32_spam.tree, seed=1)
+        plan = plan_shards(
+            lattice32,
+            lattice32_spam,
+            assignment,
+            [(spec.source, spec.destinations) for spec in workload],
+        )
+        assert len(plan.shards) <= 2
+        assert sorted(mid for shard in plan.shards for mid in shard) == list(
+            range(len(workload))
+        )
+
+    def test_traversable_coupling_collapses_under_spam(self, lattice32, lattice32_spam):
+        """SPAM's up-phase rule admits every up channel, so the static
+        all-candidates closure spans the network and the sound-without-
+        validation mode degenerates to one shard — the documented reason
+        the executor plans optimistically instead."""
+        assignment = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        workload = _region_local_workload(lattice32, lattice32_spam.tree, seed=1)
+        plan = plan_shards(
+            lattice32,
+            lattice32_spam,
+            assignment,
+            [(spec.source, spec.destinations) for spec in workload],
+            coupling="traversable",
+        )
+        assert len(plan.shards) == 1
+
+    def test_unknown_coupling_rejected(self, lattice32, lattice32_spam):
+        assignment = assign_regions(lattice32, 2, tree=lattice32_spam.tree)
+        with pytest.raises(ConfigurationError, match="coupling"):
+            plan_shards(lattice32, lattice32_spam, assignment, [], coupling="psychic")
+
+    def test_preferred_closure_subset_of_traversable(self, lattice32, lattice32_spam):
+        processors = lattice32.processors()
+        preferred = preferred_channels(
+            lattice32, lattice32_spam, processors[0], (processors[11], processors[17])
+        )
+        traversable = traversable_channels(
+            lattice32, lattice32_spam, processors[0], (processors[11], processors[17])
+        )
+        assert preferred <= traversable
+        assert lattice32.injection_channel(processors[0]).cid in preferred
+
+    def test_assignment_deterministic_and_covering(self, lattice32, lattice32_spam):
+        first = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        second = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        assert first.regions == second.regions
+        assert first.boundary_cids == second.boundary_cids
+        covered = sorted(sw for region in first.regions for sw in region)
+        assert covered == sorted(lattice32.switches())
+        # Every node and channel has an owner.
+        for processor in lattice32.processors():
+            assert processor in first.region_of
+        assert set(first.channel_region) == {
+            channel.cid for channel in lattice32.channels()
+        }
+
+    def test_boundary_channels_cross_regions(self, lattice32, lattice32_spam):
+        assignment = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        assert assignment.boundary_cids, "4 regions of one lattice must share edges"
+        by_cid = {channel.cid: channel for channel in lattice32.channels()}
+        for cid in assignment.boundary_cids:
+            channel = by_cid[cid]
+            assert (
+                assignment.region_of[channel.src]
+                != assignment.region_of[channel.dst]
+            )
+
+
+class TestSweepsIntegration:
+    def test_region_parallel_sweep_point_identical(self, lattice32, lattice32_spam):
+        """``config.region_parallel`` routed through the sweep runner's
+        ``_run_latencies`` must return the same latencies as the plain
+        engine path."""
+        from repro.sweeps.spec import _run_latencies
+
+        workload = mixed_traffic_workload(
+            lattice32,
+            rate_per_us=0.03,
+            multicast_destinations=6,
+            num_messages=10,
+            multicast_fraction=0.2,
+            seed=11,
+        )
+        plain = _run_latencies(
+            lattice32,
+            lattice32_spam,
+            workload,
+            SimulationConfig(message_length_flits=64),
+            from_creation=True,
+        )
+        regioned = _run_latencies(
+            lattice32,
+            lattice32_spam,
+            workload,
+            SimulationConfig(
+                message_length_flits=64, region_parallel=True, region_count=4
+            ),
+            from_creation=True,
+        )
+        assert regioned == plain

@@ -390,6 +390,69 @@ def test_r6_doc_coverage_both_directions(tmp_path):
     assert "coalesce_stale" in messages["R6:docs/engine_counters.md"]
 
 
+_REGIONS_WITH_COUNTERS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class RegionRunResult:
+        region_documented: int
+        region_mystery: int
+"""
+
+
+def test_r6_region_counter_doc_coverage_both_directions(tmp_path):
+    result = lint_project(
+        tmp_path,
+        {
+            "src/repro/simulator/regions.py": _REGIONS_WITH_COUNTERS,
+            "docs/engine_counters.md": """
+                ### `region_documented`
+                Documented counter.
+
+                ### `region_stale`
+                No longer exists.
+            """,
+        },
+        select=["R6"],
+    )
+    messages = {finding.rule + ":" + finding.path: finding.message for finding in result.findings}
+    assert len(result.findings) == 2
+    assert "region_mystery" in messages["R6:src/repro/simulator/regions.py"]
+    assert "region_stale" in messages["R6:docs/engine_counters.md"]
+
+
+def test_r6_region_counters_clean_and_independent_of_engine_counters(tmp_path):
+    """A fully documented region result must lint clean, and coalesce*
+    engine headings must never cross-flag against regions.py (nor
+    region_* headings against engine.py)."""
+    result = lint_project(
+        tmp_path,
+        {
+            "src/repro/simulator/regions.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class RegionRunResult:
+                    region_documented: int
+            """,
+            "src/repro/simulator/engine.py": """
+                class WormholeSimulator:
+                    def __init__(self):
+                        self.coalesce_documented = 0
+            """,
+            "docs/engine_counters.md": """
+                ### `coalesce_documented`
+                Engine counter.
+
+                ### `region_documented`
+                Region counter.
+            """,
+        },
+        select=["R6"],
+    )
+    assert rule_ids(result) == []
+
+
 def test_r6_doc_coverage_clean(tmp_path):
     result = lint_project(
         tmp_path,
@@ -467,6 +530,59 @@ def test_r7_silent_on_pure_module_level_function(tmp_path):
 
         def run(pool, xs):
             return [pool.submit(task, x) for x in xs]
+        """,
+        select=["R7"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_r7_covers_executor_map(tmp_path):
+    """``Executor.map`` is the other door a callable crosses the process
+    boundary through (the region-parallel executor's worker path); the
+    same purity contract applies."""
+    result = lint_snippet(
+        tmp_path,
+        """
+        SEEN = []
+
+        def impure(task):
+            SEEN.append(task)
+            return task
+
+        def run(pool, tasks):
+            return list(pool.map(impure, tasks))
+        """,
+        select=["R7"],
+    )
+    assert rule_ids(result) == ["R7"]
+    assert "SEEN" in result.findings[0].message
+
+
+def test_r7_map_with_lambda_flagged_pure_map_silent(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        def shard_worker(task):
+            return task * 2
+
+        def run(pool, tasks):
+            bad = pool.map(lambda t: t, tasks)
+            good = pool.map(shard_worker, tasks)
+            return bad, good
+        """,
+        select=["R7"],
+    )
+    assert rule_ids(result) == ["R7"]
+
+
+def test_r7_builtin_map_is_not_a_pool_call(tmp_path):
+    """The builtin ``map(f, xs)`` is a plain Name call, not an executor
+    method; closures there are fine and must not be flagged."""
+    result = lint_snippet(
+        tmp_path,
+        """
+        def run(xs):
+            return list(map(lambda x: x + 1, xs))
         """,
         select=["R7"],
     )

@@ -5,8 +5,10 @@ the default ``fork`` start method a submitted function can *appear* to work
 while closing over or mutating module-level state — state that silently
 diverges between parent and children, differs under ``spawn`` (macOS,
 Windows), and breaks the parallel-vs-sequential bit-identity guarantee the
-scheduler tests enforce.  The rule checks every ``….submit(f, …)`` call
-site:
+scheduler tests enforce.  The rule checks every ``….submit(f, …)`` and
+``….map(f, …)`` call site (the sweep scheduler and the region-parallel
+executor both ship workers through ``submit``; ``Executor.map`` is the
+other way a callable crosses the process boundary):
 
 * ``f`` must be a plain module-level function (or an import) — lambdas and
   locally-defined closures are flagged outright;
@@ -140,11 +142,15 @@ class ProcessPoolPurityRule(FileRule):
     rule_id = "R7"
     name = "pool-purity"
     description = (
-        "functions submitted to the process pool must be module-level and must "
-        "not close over or mutate module-level mutable state (fork/spawn "
-        "divergence breaks the parallel-vs-sequential bit-identity guarantee)"
+        "functions handed to the process pool (.submit/.map) must be "
+        "module-level and must not close over or mutate module-level mutable "
+        "state (fork/spawn divergence breaks the parallel-vs-sequential "
+        "bit-identity guarantee)"
     )
     scope = ("src/repro/*", "tools/*", "benchmarks/*")
+
+    #: Executor methods whose first argument crosses the process boundary.
+    _POOL_CALLS = frozenset({"submit", "map"})
 
     def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
         module_functions = _module_level_functions(ctx.tree)
@@ -154,7 +160,7 @@ class ProcessPoolPurityRule(FileRule):
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "submit"
+                and node.func.attr in self._POOL_CALLS
                 and node.args
             ):
                 continue
