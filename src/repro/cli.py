@@ -21,6 +21,12 @@ exposes the library's main entry points without writing any Python:
     deterministic shard of the sweep so several hosts can split it;
     ``sweep merge --into DIR SRC...`` combines the per-shard stores back
     into one, after which an unsharded run is a pure warm-cache export.
+``obs``
+    Inspect wall-clock telemetry snapshots (:mod:`repro.obs`): validate
+    them against the checked-in schema and print per-tier time-attribution
+    tables.  Snapshots come from ``--telemetry OUT`` on the figure/compare/
+    sweep commands, which also writes a Chrome-trace/Perfetto sibling
+    (``OUT`` with a ``.trace.json`` suffix).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis.hotspot import root_traversal_probability
@@ -48,6 +55,14 @@ from .experiments.software_comparison import (
     SoftwareComparisonConfig,
     run_software_comparison,
     software_comparison_specs,
+)
+from .obs import (
+    Telemetry,
+    summarize_snapshot,
+    validate_chrome_trace,
+    validate_snapshot,
+    write_chrome_trace,
+    write_snapshot,
 )
 from .sweeps import DEFAULT_STORE_DIR, ResultStore, merge_stores, parse_shard, run_sweep
 from .topology.irregular import lattice_irregular_network
@@ -79,9 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--seed", type=int, default=0)
     topology.add_argument("--save", type=str, default=None, help="write the network to a JSON file")
 
+    def add_telemetry_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--telemetry", default=None, metavar="OUT",
+            help="record wall-clock telemetry (repro.obs) and write the JSON "
+                 "snapshot to OUT plus a Chrome-trace/Perfetto sibling "
+                 "(OUT with a .trace.json suffix); results are bit-identical "
+                 "with or without this flag",
+        )
+
     figure2 = subparsers.add_parser("figure2", help="latency vs number of destinations")
     figure2.add_argument("--network-sizes", type=int, nargs="+", default=[64])
     figure2.add_argument("--seed", type=int, default=7)
+    add_telemetry_flag(figure2)
 
     figure3 = subparsers.add_parser("figure3", help="latency vs arrival rate (mixed traffic)")
     figure3.add_argument("--network-size", type=int, default=64)
@@ -96,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrival process at every processor (paper: negative-binomial)",
     )
     figure3.add_argument("--seed", type=int, default=7)
+    figure3.add_argument(
+        "--region-parallel", type=int, default=None, metavar="N",
+        help="evaluate every point through the region-parallel decomposition "
+             "with N regions (results are identical; the knob participates "
+             "in cache identity)",
+    )
+    add_telemetry_flag(figure3)
 
     compare = subparsers.add_parser("compare", help="SPAM vs software multicast")
     compare.add_argument("--network-size", type=int, default=64)
@@ -105,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--bound-only", action="store_true",
         help="skip executing the binomial software baseline (faster)",
     )
+    add_telemetry_flag(compare)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -155,7 +188,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="[compare] destination counts")
     sweep.add_argument("--bound-only", action="store_true",
                        help="[compare] skip the executable software baseline")
+    sweep.add_argument("--region-parallel", type=int, default=None, metavar="N",
+                       help="[figure3] evaluate points region-parallel with N "
+                            "regions (identical results; distinct cache identity)")
     sweep.add_argument("--seed", type=int, default=7)
+    add_telemetry_flag(sweep)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect repro.obs telemetry snapshots",
+        description=(
+            "Work with the telemetry artifacts written by --telemetry: "
+            "'obs validate' checks a snapshot against the checked-in schema "
+            "(and its Chrome trace for well-formedness), 'obs summarize' "
+            "prints per-tier probe time attribution and span totals."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="per-tier time attribution from a snapshot")
+    obs_summarize.add_argument("file", help="telemetry snapshot JSON")
+    obs_validate = obs_sub.add_parser(
+        "validate", help="validate snapshot (and Chrome trace) files")
+    obs_validate.add_argument("file", help="telemetry snapshot JSON")
+    obs_validate.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="Chrome-trace JSON to check (default: the snapshot's "
+             ".trace.json sibling when present)",
+    )
 
     verify = subparsers.add_parser("verify", help="deadlock/livelock verification")
     verify.add_argument("--switches", type=int, default=32)
@@ -183,6 +242,24 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+def _make_telemetry(args) -> Telemetry | None:
+    """A live recorder when ``--telemetry OUT`` was given, else ``None``."""
+    return Telemetry(track="main") if getattr(args, "telemetry", None) else None
+
+
+def _write_telemetry(telemetry: Telemetry, out: str) -> None:
+    snapshot_path = write_snapshot(telemetry, out)
+    trace_path = write_chrome_trace(telemetry, Path(out).with_suffix(".trace.json"))
+    print(f"telemetry written to {snapshot_path} (trace: {trace_path})")
+
+
+def _region_overrides(args) -> tuple[tuple[str, object], ...]:
+    regions = getattr(args, "region_parallel", None)
+    if not regions:
+        return ()
+    return (("region_parallel", True), ("region_count", regions))
+
+
 def _cmd_figure2(args, scale) -> int:
     config = Figure2Config(
         network_sizes=tuple(args.network_sizes),
@@ -192,8 +269,11 @@ def _cmd_figure2(args, scale) -> int:
         scale=scale,
         topology_seed=args.seed,
     )
-    result = run_figure2(config)
+    telemetry = _make_telemetry(args)
+    result = run_figure2(config, telemetry=telemetry)
     print(series_side_by_side(result))
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry)
     return 0
 
 
@@ -205,9 +285,13 @@ def _cmd_figure3(args, scale) -> int:
         arrival=args.arrival,
         scale=scale,
         topology_seed=args.seed,
+        sim_overrides=_region_overrides(args),
     )
-    result = run_figure3(config)
+    telemetry = _make_telemetry(args)
+    result = run_figure3(config, telemetry=telemetry)
     print(series_side_by_side(result))
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry)
     return 0
 
 
@@ -219,8 +303,11 @@ def _cmd_compare(args, scale) -> int:
         topology_seed=args.seed,
         run_software_baseline=not args.bound_only,
     )
-    rows = run_software_comparison(config)
+    telemetry = _make_telemetry(args)
+    rows = run_software_comparison(config, telemetry=telemetry)
     print(format_table(rows))
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry)
     return 0
 
 
@@ -280,6 +367,7 @@ def _cmd_sweep(args, scale) -> int:
             arrival=args.arrival,
             scale=scale,
             topology_seed=args.seed,
+            sim_overrides=_region_overrides(args),
         )
         specs = figure3_specs(config)
         assemble = lambda points: figure3_result_from_points(config, points)  # noqa: E731
@@ -299,9 +387,10 @@ def _cmd_sweep(args, scale) -> int:
     def progress(done, total, spec):
         print(f"  [{done}/{total}] {spec.label} x={spec.x}", flush=True)
 
+    telemetry = _make_telemetry(args)
     outcome = run_sweep(
         specs, store=store, workers=args.workers, resume=args.resume,
-        progress=progress, shard=shard,
+        progress=progress, shard=shard, telemetry=telemetry,
     )
     if assemble is not None:
         result = assemble(outcome.results)
@@ -323,6 +412,62 @@ def _cmd_sweep(args, scale) -> int:
             json.dump(exported, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"exported to {args.export}")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    with open(args.file) as handle:
+        document = json.load(handle)
+    errors = validate_snapshot(document)
+    if args.obs_command == "summarize":
+        if errors:
+            for error in errors:
+                print(f"snapshot: {error}", file=sys.stderr)
+            return 1
+        tables = summarize_snapshot(document)
+        if tables["tiers"]:
+            print("probe time attribution (all tracks):")
+            print(format_table([
+                {
+                    "tier": row["tier"],
+                    "probes": row["probes"],
+                    "total_ms": round(row["total_ms"], 3),
+                    "mean_us": round(row["mean_us"], 2),
+                    "share_%": round(100.0 * row["share"], 1),
+                }
+                for row in tables["tiers"]
+            ]))
+        else:
+            print("no engine probe distributions in this snapshot")
+        if tables["spans"]:
+            print("span totals:")
+            print(format_table([
+                {
+                    "span": row["span"],
+                    "count": row["count"],
+                    "total_ms": round(row["total_ms"], 3),
+                }
+                for row in tables["spans"]
+            ]))
+        return 0
+    trace_path = args.trace
+    if trace_path is None:
+        sibling = Path(args.file).with_suffix(".trace.json")
+        trace_path = str(sibling) if sibling.exists() else None
+    trace_errors: list[str] = []
+    if trace_path is not None:
+        with open(trace_path) as handle:
+            trace_errors = validate_chrome_trace(json.load(handle))
+    for error in errors:
+        print(f"snapshot: {error}", file=sys.stderr)
+    for error in trace_errors:
+        print(f"trace: {error}", file=sys.stderr)
+    if errors or trace_errors:
+        return 1
+    print(f"obs validate: {args.file} ok"
+          + ("" if trace_path is None else f"; {trace_path} ok"))
     return 0
 
 
@@ -387,6 +532,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args, scale)
     if args.command == "sweep":
         return _cmd_sweep(args, scale)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "hotspot":

@@ -127,8 +127,19 @@ def run_figure2(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    telemetry=None,
 ) -> SweepResult:
-    """Regenerate Figure 2 and return its sweep data."""
+    """Regenerate Figure 2 and return its sweep data.
+
+    ``telemetry`` is an optional ``repro.obs`` recorder threaded through the
+    sweep into every point's engine (wall-clock observability only).
+    """
     config = config or Figure2Config()
-    outcome = run_sweep(figure2_specs(config), store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        figure2_specs(config),
+        store=store,
+        workers=workers,
+        resume=resume,
+        telemetry=telemetry,
+    )
     return figure2_result_from_points(config, outcome.results)

@@ -49,6 +49,12 @@ class Figure3Config:
     topology_seed: int = 7
     workload_seed: int = 23
     root_strategy: str = "center"
+    #: Extra :class:`~repro.simulator.config.SimulationConfig` overrides
+    #: applied to every point (e.g. ``(("region_parallel", True),
+    #: ("region_count", 2))`` for the CLI's ``--region-parallel`` flag).
+    #: Overrides participate in spec identity — points computed under
+    #: different overrides are distinct cache entries by design.
+    sim_overrides: tuple[tuple[str, object], ...] = ()
 
     def resolved_scale(self) -> ExperimentScale:
         return self.scale or current_scale()
@@ -76,6 +82,7 @@ def figure3_specs(config: Figure3Config | None = None) -> list[SweepPointSpec]:
                     ),
                     workload_seed=config.workload_seed + degree,
                     root_strategy=config.root_strategy,
+                    sim_overrides=config.sim_overrides,
                     label=f"{degree} destinations",
                     x=rate,
                 )
@@ -111,8 +118,19 @@ def run_figure3(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    telemetry=None,
 ) -> SweepResult:
-    """Regenerate Figure 3 and return its sweep data."""
+    """Regenerate Figure 3 and return its sweep data.
+
+    ``telemetry`` is an optional ``repro.obs`` recorder threaded through the
+    sweep into every point's engine (wall-clock observability only).
+    """
     config = config or Figure3Config()
-    outcome = run_sweep(figure3_specs(config), store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        figure3_specs(config),
+        store=store,
+        workers=workers,
+        resume=resume,
+        telemetry=telemetry,
+    )
     return figure3_result_from_points(config, outcome.results)

@@ -84,15 +84,21 @@ def run_software_comparison(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    telemetry=None,
 ) -> list[dict]:
     """Run the comparison and return one result row per destination count.
 
     Each row contains the measured SPAM latency, the software lower bound,
     the measured software (binomial) latency when enabled, and the resulting
-    speedup factors.
+    speedup factors.  ``telemetry`` is an optional ``repro.obs`` recorder
+    threaded through the sweep (wall-clock observability only).
     """
     config = config or SoftwareComparisonConfig()
     outcome = run_sweep(
-        software_comparison_specs(config), store=store, workers=workers, resume=resume
+        software_comparison_specs(config),
+        store=store,
+        workers=workers,
+        resume=resume,
+        telemetry=telemetry,
     )
     return [result.metrics_dict() for result in outcome.results]

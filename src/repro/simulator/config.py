@@ -119,6 +119,15 @@ class SimulationConfig:
         region-local traffic but coalesce globally-routed messages into
         fewer, larger shards; see ``docs/region_parallel.md`` for how to
         pick a value.
+    telemetry:
+        Record wall-clock telemetry (:mod:`repro.obs`) during runs: one
+        span per fast-path probe with its exit tier, snapshot/replay
+        sub-spans, and the ``coalesce_*`` counters re-published as gauges.
+        Telemetry is observability-only — every observable result stays
+        bit-identical with it on or off (the observables firewall,
+        ``docs/observability.md``) — but the per-probe instrumentation
+        costs wall-clock, so it is off by default.  When off the engine
+        holds the no-op recorder and pays nothing per event.
     """
 
     startup_latency_ns: int = 10_000
@@ -139,6 +148,7 @@ class SimulationConfig:
     channel_latency_factors: tuple[tuple[int, int], ...] = ()
     region_parallel: bool = False
     region_count: int = 1
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.startup_latency_ns < 0:

@@ -103,6 +103,7 @@ from typing import Callable, Iterable, Sequence
 from ..core.interface import RoutingAlgorithm
 from ..core.multicast import normalize_destinations
 from ..errors import ConfigurationError, DeadlockError, LivelockError, SimulationError
+from ..obs import NULL_TELEMETRY, NullTelemetry, Telemetry
 from ..topology.network import Network
 from .config import SimulationConfig
 from .deadlock import DeadlockReport, diagnose
@@ -167,6 +168,7 @@ class WormholeSimulator:
         network: Network,
         routing: RoutingAlgorithm,
         config: SimulationConfig | None = None,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
     ) -> None:
         network.require_connected()
         self.network = network
@@ -281,6 +283,24 @@ class WormholeSimulator:
         #: verifier compares to prove no destination was reached inside a
         #: probed window; not an observable result).
         self._delivery_count = 0
+        #: Wall-clock telemetry recorder (``repro.obs``).  An explicit
+        #: ``telemetry`` argument wins (region shards and sweep workers pass
+        #: their own track); otherwise ``config.telemetry`` selects between a
+        #: fresh recorder and the shared no-op singleton.  Everything written
+        #: here is observability-only — the observables firewall (repro-lint
+        #: R9) keeps it out of ``stats``/``trace``/results.
+        self.telemetry: Telemetry | NullTelemetry = (
+            telemetry
+            if telemetry is not None
+            else (Telemetry(track="engine") if self.config.telemetry else NULL_TELEMETRY)
+        )
+        #: ``None`` when telemetry is off — the single flag ``_coalesce_tick``
+        #: checks before recording section marks, so the disabled fast path
+        #: pays one attribute load on its cold sections and nothing else.
+        self._obs_clock = self.telemetry.clock if self.telemetry.enabled else None
+        #: Scratch marks ``_coalesce_tick`` leaves for ``_coalesce_tick_timed``
+        #: (section timestamps and the verified ``k``/``ticks`` of a batch).
+        self._obs_marks: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Time and scheduling helpers
@@ -387,6 +407,15 @@ class WormholeSimulator:
         events = self.events
         fast = self.config.fast_path
         complete_transfer = self._complete_transfer
+        # Telemetry selects the probe entry point once, outside the loop:
+        # disabled runs call the raw probe and pay zero per-event overhead
+        # (``telemetry is NULL_TELEMETRY``); enabled runs go through the
+        # timing wrapper, which classifies each probe's exit tier post-hoc
+        # from the counter deltas.
+        telemetry = self.telemetry
+        instrumented = telemetry.enabled
+        coalesce = self._coalesce_tick_timed if instrumented else self._coalesce_tick
+        run_start_ns = telemetry.clock() if instrumented else 0
         # The loop body below is ``pop_entry()`` unrolled by hand: this is the
         # hottest loop in the repository and method/property calls per event
         # are measurable.  ``heap`` aliases the live heap list (batch retimes
@@ -404,7 +433,7 @@ class WormholeSimulator:
             # would be too small, and otherwise ends every batch strictly
             # before the first of them fires.
             if fast and heap[0][2] and t0 >= self._coalesce_gate_ns:
-                if self._coalesce_tick(t0, until_ns):
+                if coalesce(t0, until_ns):
                     continue
             entry = heappop(heap)
             events.now = entry[0]
@@ -419,6 +448,15 @@ class WormholeSimulator:
             # boundary even if the last event fired earlier (or none did).
             events.advance_to(until_ns)
         self.stats.end_time_ns = self.now
+        if instrumented:
+            telemetry.span_at(
+                "engine.run",
+                run_start_ns,
+                telemetry.clock(),
+                bounded=until_ns is not None,
+                end_time_ns=self.now,
+            )
+            self._publish_telemetry_gauges(telemetry)
         if until_ns is None and self.config.deadlock_detection:
             incomplete = [m for m in self.messages.values() if not m.is_complete]
             if incomplete:
@@ -611,6 +649,12 @@ class WormholeSimulator:
         # window; each further window can reach one expansion more, so the
         # closure is expanded k_limit times.
         self.coalesce_snapshots += 1
+        obs_clock = self._obs_clock
+        if obs_clock is not None:
+            # Section marks for the telemetry wrapper.  Only the cold
+            # sections are marked — every probe that reaches here has
+            # already paid for a heap scan, so two clock reads are noise.
+            self._obs_marks["snapshot_start_ns"] = obs_clock()
         closure: dict[LinkState, None] = {}
         segments: dict[WormSegment, None] = {}
         interfaces: dict[SourceInterface, None] = {}
@@ -687,6 +731,9 @@ class WormholeSimulator:
             if collect and k_limit > 1
             else None
         )
+
+        if obs_clock is not None:
+            self._obs_marks["snapshot_end_ns"] = obs_clock()
 
         complete_transfer = self._complete_transfer
         pop_entry = events.pop_entry
@@ -830,6 +877,8 @@ class WormholeSimulator:
             k += 1
 
         # -- Batch advance: replay m further compound windows arithmetically.
+        if obs_clock is not None:
+            self._obs_marks["replay_start_ns"] = obs_clock()
         shifting, ni_deltas, bound, bubble_rate = plan
         shift = k * latency
         now_ns = events.now
@@ -900,6 +949,9 @@ class WormholeSimulator:
         histogram[k] = histogram.get(k, 0) + 1
         if k > 1:
             self.coalesce_multi_period_batches += 1
+        if obs_clock is not None:
+            self._obs_marks["k"] = k
+            self._obs_marks["ticks"] = ticks
         return True
 
     def _coalesce_pause(self, t0: int, latency: int) -> None:
@@ -934,6 +986,85 @@ class WormholeSimulator:
         self.coalesce_drain_bails += 1
         self._coalesce_pause(t0, latency)
         return False
+
+    # ------------------------------------------------------------------
+    # Wall-clock telemetry (observability only; see docs/observability.md)
+    # ------------------------------------------------------------------
+    def _coalesce_tick_timed(self, t0: int, until_ns: int | None) -> bool:
+        """Instrumented twin of :meth:`_coalesce_tick`.
+
+        ``run()`` binds this instead of the raw probe when telemetry is
+        enabled.  The probe itself is untouched — its exit tier is
+        classified *post hoc* from the ``coalesce_*`` counter deltas, so
+        the instrumentation cannot perturb the decision logic; the cold
+        sections (snapshot build, batch replay) leave timestamp marks in
+        ``_obs_marks`` that become sub-spans here.
+        """
+        tel = self.telemetry
+        marks = self._obs_marks
+        marks.clear()
+        pre_batches = self.coalesce_batches
+        pre_verify = self.coalesce_verify_failures
+        pre_drain = self.coalesce_drain_bails
+        pre_generic = self.coalesce_generic_bails
+        clock = tel.clock
+        start_ns = clock()
+        executed = self._coalesce_tick(t0, until_ns)
+        end_ns = clock()
+        if self.coalesce_batches != pre_batches:
+            tier = "batch"
+        elif self.coalesce_verify_failures != pre_verify:
+            tier = "verify_failure"
+        elif self.coalesce_drain_bails != pre_drain:
+            tier = "drain_bail"
+        elif self.coalesce_generic_bails != pre_generic:
+            tier = "generic_bail"
+        else:
+            tier = "scan_reject"
+        tel.counter(f"engine.probe.{tier}")
+        tel.value(f"engine.probe.{tier}_ns", end_ns - start_ns)
+        if tier == "batch":
+            k = marks.get("k", 1)
+            tel.counter(f"engine.probe.k.{k}")
+            tel.span_at(
+                "engine.probe",
+                start_ns,
+                end_ns,
+                tier=tier,
+                k=k,
+                ticks=marks.get("ticks", 0),
+            )
+        else:
+            tel.span_at("engine.probe", start_ns, end_ns, tier=tier)
+        snapshot_start = marks.get("snapshot_start_ns")
+        if snapshot_start is not None:
+            tel.span_at(
+                "engine.probe.snapshot",
+                snapshot_start,
+                marks.get("snapshot_end_ns", end_ns),
+            )
+        replay_start = marks.get("replay_start_ns")
+        if replay_start is not None:
+            tel.span_at("engine.probe.replay", replay_start, end_ns)
+        return executed
+
+    def _publish_telemetry_gauges(self, tel: "Telemetry | NullTelemetry") -> None:
+        """Re-publish the deterministic ``coalesce_*`` counters as gauges so
+        one snapshot unifies wall-clock spans with the normative counters.
+        Last-write-wins, so repeated ``run_for`` windows stay idempotent."""
+        tel.gauge("engine.coalesced_ticks", self.coalesced_ticks)
+        tel.gauge("engine.coalesced_stagger_ticks", self.coalesced_stagger_ticks)
+        tel.gauge("engine.coalesced_bubble_ticks", self.coalesced_bubble_ticks)
+        tel.gauge("engine.coalesce_snapshots", self.coalesce_snapshots)
+        tel.gauge("engine.coalesce_batches", self.coalesce_batches)
+        tel.gauge("engine.coalesce_verify_failures", self.coalesce_verify_failures)
+        tel.gauge("engine.coalesce_generic_bails", self.coalesce_generic_bails)
+        tel.gauge("engine.coalesce_drain_bails", self.coalesce_drain_bails)
+        tel.gauge(
+            "engine.coalesce_multi_period_batches", self.coalesce_multi_period_batches
+        )
+        for k, batches in sorted(self.coalesce_k_histogram.items()):
+            tel.gauge(f"engine.coalesce_k_histogram.{k}", batches)
 
     # ------------------------------------------------------------------
     # Link machinery

@@ -72,6 +72,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from ..core.interface import RoutingAlgorithm
 from ..core.regions import assign_regions, plan_shards
 from ..errors import ConfigurationError
+from ..obs import NULL_TELEMETRY, NullTelemetry, Telemetry, env_knob
 from ..topology.network import Network
 from .config import SimulationConfig
 from .engine import WormholeSimulator
@@ -135,6 +136,10 @@ class RegionRunResult:
     region_coupled_messages: int
     #: Worker processes used (0 when every shard ran in-process).
     region_processes: int
+    #: The run's telemetry recorder (``repro.obs``) with every shard's
+    #: payload merged in; the shared no-op singleton when telemetry is off.
+    #: Wall-clock observability only — never consulted by ``fingerprint``.
+    telemetry: "Telemetry | NullTelemetry" = NULL_TELEMETRY
 
     def fingerprint(self) -> dict:
         """Canonical observable fingerprint (see :func:`observable_fingerprint`)."""
@@ -157,6 +162,8 @@ class _ShardTask:
     #: ascending mid (= position in the submitted workload).
     submissions: tuple[tuple[int, int, tuple[int, ...], int, dict], ...]
     until_ns: int | None
+    #: Record and ship wall-clock telemetry for this shard run.
+    collect_telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -175,6 +182,10 @@ class _ShardResult:
     #: The engine's touched-channel set (see
     #: :attr:`WormholeSimulator.touched_cids`); the validation input.
     touched_cids: frozenset[int]
+    #: The shard engine's telemetry payload
+    #: (:meth:`repro.obs.Telemetry.to_payload`) when the parent asked for
+    #: it; the parent merges it under a per-shard track label.
+    telemetry: dict | None = None
 
 
 def _run_shard_task(task: _ShardTask) -> _ShardResult:
@@ -183,12 +194,18 @@ def _run_shard_task(task: _ShardTask) -> _ShardResult:
     Module-level and pure by the process-pool contract (repro-lint R7):
     all state arrives in ``task``, all results leave in the return value.
     """
-    simulator = WormholeSimulator(task.network, task.routing, task.config)
+    telemetry: Telemetry | NullTelemetry = (
+        Telemetry(track="shard") if task.collect_telemetry else NULL_TELEMETRY
+    )
+    simulator = WormholeSimulator(
+        task.network, task.routing, task.config, telemetry=telemetry
+    )
     for mid, source, destinations, at_ns, metadata in task.submissions:
         simulator.submit_message(
             source, destinations, at_ns=at_ns, metadata=metadata, mid=mid
         )
-    stats = simulator.run(until_ns=task.until_ns)
+    with telemetry.span("region.shard.run", messages=len(task.submissions)):
+        stats = simulator.run(until_ns=task.until_ns)
     views = tuple(
         MessageView(
             mid=message.mid,
@@ -213,6 +230,7 @@ def _run_shard_task(task: _ShardTask) -> _ShardResult:
         trace_events=None if simulator.trace is None else tuple(simulator.trace.events),
         messages=views,
         touched_cids=frozenset(simulator.touched_cids),
+        telemetry=telemetry.to_payload() if task.collect_telemetry else None,
     )
 
 
@@ -225,7 +243,7 @@ def _resolve_workers(max_workers: int | None, shard_count: int) -> int:
     both mean in-process sequential execution (results are identical by
     construction; the knob changes wall-clock only)."""
     if max_workers is None:
-        raw = os.environ.get("REPRO_REGION_WORKERS", "")  # repro-lint: disable=R4 -- worker count changes wall-clock only; results are bit-identical by the region-vs-whole differential
+        raw = env_knob("REPRO_REGION_WORKERS")
         max_workers = int(raw) if raw else (os.cpu_count() or 1)
     return max(0, min(max_workers, shard_count))
 
@@ -295,6 +313,7 @@ def run_region_parallel(
     workload: Iterable[Any],
     until_ns: int | None = None,
     max_workers: int | None = None,
+    telemetry: "Telemetry | NullTelemetry | None" = None,
 ) -> RegionRunResult:
     """Run one simulation region-parallel; results match the reference engine.
 
@@ -317,6 +336,12 @@ def run_region_parallel(
         Worker processes; ``None`` defers to ``$REPRO_REGION_WORKERS`` then
         one per CPU, ``0``/``1`` run every shard in-process (identical
         results, no pickling — what most tests use).
+    telemetry:
+        Wall-clock recorder (``repro.obs``) for plan/execute/validate/merge
+        phase spans; shard engines record their own tracks, shipped back
+        and merged under ``shard{i}`` labels.  ``None`` defers to
+        ``config.telemetry``; recording never changes any observable result
+        (the fingerprint tests hold both settings to bit-identity).
 
     Returns a :class:`RegionRunResult`; ``stats``/``trace``/``messages``
     mirror the reference engine's observables up to same-timestamp
@@ -345,15 +370,21 @@ def run_region_parallel(
             "shared RNG state per decision, which couples every message in the "
             "run (see docs/region_parallel.md)"
         )
+    tel: Telemetry | NullTelemetry = (
+        telemetry
+        if telemetry is not None
+        else (Telemetry(track="region") if config.telemetry else NULL_TELEMETRY)
+    )
     specs = list(workload)
     tree = getattr(routing, "tree", None)
-    assignment = assign_regions(network, config.region_count, tree=tree)
-    plan = plan_shards(
-        network,
-        routing,
-        assignment,
-        [(spec.source, spec.destinations) for spec in specs],
-    )
+    with tel.span("region.plan", messages=len(specs)):
+        assignment = assign_regions(network, config.region_count, tree=tree)
+        plan = plan_shards(
+            network,
+            routing,
+            assignment,
+            [(spec.source, spec.destinations) for spec in specs],
+        )
     submissions = tuple(
         (
             mid,
@@ -373,9 +404,10 @@ def run_region_parallel(
     results: list[_ShardResult | None] = [None] * len(groups)
     processes = 0
     reruns = 0
+    rounds = 0
 
     def run_pending() -> None:
-        nonlocal processes
+        nonlocal processes, rounds
         pending = [index for index, result in enumerate(results) if result is None]
         tasks = {
             index: _ShardTask(
@@ -384,21 +416,26 @@ def run_region_parallel(
                 config=config,
                 submissions=tuple(submissions[mid] for mid in groups[index]),
                 until_ns=until_ns,
+                collect_telemetry=tel.enabled,
             )
             for index in pending
         }
         workers = _resolve_workers(max_workers, len(pending))
-        if workers <= 1 or len(pending) == 1:
-            for index in pending:
-                results[index] = _run_shard_task(tasks[index])
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [(index, pool.submit(_run_shard_task, tasks[index])) for index in pending]
-                # Collect in shard order: deterministic merge input and a
-                # deterministic first error (e.g. a shard's DeadlockError).
-                for index, future in futures:
-                    results[index] = future.result()
-            processes = max(processes, workers)
+        with tel.span(
+            "region.execute", round=rounds, shards=len(pending), workers=workers
+        ):
+            if workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    results[index] = _run_shard_task(tasks[index])
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [(index, pool.submit(_run_shard_task, tasks[index])) for index in pending]
+                    # Collect in shard order: deterministic merge input and a
+                    # deterministic first error (e.g. a shard's DeadlockError).
+                    for index, future in futures:
+                        results[index] = future.result()
+                processes = max(processes, workers)
+        rounds += 1
 
     run_pending()
     while len(groups) > 1:
@@ -406,6 +443,7 @@ def run_region_parallel(
         # sets are pairwise disjoint (see the module docstring).  Colliding
         # shards merge — union-find over shard indices keyed by the first
         # shard to claim each channel — and re-run together.
+        tel.begin("region.validate", shards=len(groups))
         parent = list(range(len(groups)))
 
         def find(index: int) -> int:
@@ -423,6 +461,7 @@ def run_region_parallel(
                 if holder != index:
                     parent[find(index)] = find(holder)
                     clean = False
+        tel.end(clean=clean)
         if clean:
             break
         merged: dict[int, list[int]] = {}
@@ -444,7 +483,21 @@ def run_region_parallel(
         run_pending()
 
     final_results = [result for result in results if result is not None]
-    stats, trace, messages, now = _merge_results(final_results, network, config, until_ns)
+    with tel.span("region.merge", shards=len(final_results)):
+        stats, trace, messages, now = _merge_results(
+            final_results, network, config, until_ns
+        )
+        for index, result in enumerate(final_results):
+            if result.telemetry is not None:
+                tel.merge_child(result.telemetry, track=f"shard{index}")
+    tel.gauge("region.count", assignment.num_regions)
+    tel.gauge("region.planned_shards", len(plan.shards))
+    tel.gauge("region.shards", len(groups))
+    tel.gauge("region.conflict_reruns", reruns)
+    tel.gauge("region.boundary_channels", len(assignment.boundary_cids))
+    tel.gauge("region.confined_messages", plan.confined_messages)
+    tel.gauge("region.coupled_messages", plan.coupled_messages)
+    tel.gauge("region.processes", processes)
     return RegionRunResult(
         stats=stats,
         trace=trace,
@@ -458,6 +511,7 @@ def run_region_parallel(
         region_confined_messages=plan.confined_messages,
         region_coupled_messages=plan.coupled_messages,
         region_processes=processes,
+        telemetry=tel,
     )
 
 

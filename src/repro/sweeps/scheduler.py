@@ -40,6 +40,7 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..obs import NullTelemetry, Telemetry, env_knob
 from .spec import SweepPointResult, SweepPointSpec, evaluate_spec, shard_specs
 from .store import ResultStore
 
@@ -51,11 +52,19 @@ ProgressCallback = Callable[[int, int, SweepPointSpec], None]
 
 @dataclass
 class SweepOutcome:
-    """What :func:`run_sweep` did: the results plus cache accounting."""
+    """What :func:`run_sweep` did: the results plus cache/time accounting."""
 
     results: list[SweepPointResult]
     cache_hits: int
     computed: int
+    #: Wall-clock seconds the whole :func:`run_sweep` call took (telemetry
+    #: accounting; 0.0 when the caller supplied a disabled recorder).
+    elapsed_seconds: float = 0.0
+    #: Wall-clock seconds spent evaluating points, summed across workers
+    #: (exceeds ``elapsed_seconds`` under real parallelism).
+    computed_seconds: float = 0.0
+    #: Wall-clock seconds the cache scan took to satisfy ``cache_hits``.
+    hit_seconds: float = 0.0
 
     @property
     def total(self) -> int:
@@ -63,26 +72,60 @@ class SweepOutcome:
         return len(self.results)
 
     def summary(self) -> str:
-        """One-line accounting string for CLI/log output."""
-        return (
+        """One-line accounting string for CLI/log output.
+
+        The cache accounting prefix is stable (CI greps for the
+        ``"N computed"`` token); timing is appended parenthetically and
+        only when it was measured.
+        """
+        line = (
             f"{self.total} points: {self.cache_hits} cache hits, "
             f"{self.computed} computed"
         )
+        if self.elapsed_seconds > 0.0:
+            line += (
+                f" ({self.computed_seconds:.2f} s computing, "
+                f"{self.hit_seconds:.3f} s cache scan, "
+                f"{self.elapsed_seconds:.2f} s elapsed)"
+            )
+        return line
 
 
 def resolve_workers(workers: int | None) -> int:
     """Effective worker count: explicit value, else ``$REPRO_SWEEP_WORKERS``,
     else 1 (sequential).  ``0`` and negative values mean "one per CPU"."""
     if workers is None:
-        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or 1)  # repro-lint: disable=R4 -- worker count changes wall-clock only; results are bit-identical by the parallel-vs-sequential test
+        workers = int(env_knob("REPRO_SWEEP_WORKERS", "1") or 1)
     if workers <= 0:
         workers = os.cpu_count() or 1
     return workers
 
 
-def _evaluate_chunk(specs: list[SweepPointSpec]) -> list[SweepPointResult]:
-    """Worker-side entry point: evaluate a chunk of specs."""
-    return [evaluate_spec(spec) for spec in specs]
+def _evaluate_chunk(
+    specs: list[SweepPointSpec], collect_detail: bool = False
+) -> tuple[list[SweepPointResult], dict]:
+    """Worker-side entry point: evaluate a chunk of specs.
+
+    Always records one ``sweep.point.evaluate`` span per spec on a private
+    ``worker`` track (the parent folds the payload in for wall-time
+    accounting); ``collect_detail`` additionally threads the recorder into
+    each point's engine for per-probe spans.
+    """
+    worker = Telemetry(track="worker")
+    clock = worker.clock
+    results: list[SweepPointResult] = []
+    for spec in specs:
+        start_ns = clock()
+        result = evaluate_spec(
+            spec, telemetry=worker if collect_detail else None
+        )
+        end_ns = clock()
+        worker.span_at(
+            "sweep.point.evaluate", start_ns, end_ns, workload=spec.workload_kind
+        )
+        worker.value("sweep.point.evaluate_ns", end_ns - start_ns)
+        results.append(result)
+    return results, worker.to_payload()
 
 
 def run_sweep(
@@ -93,6 +136,7 @@ def run_sweep(
     chunk_size: int = 1,
     progress: ProgressCallback | None = None,
     shard: tuple[int, int] | None = None,
+    telemetry: Telemetry | NullTelemetry | None = None,
 ) -> SweepOutcome:
     """Evaluate ``specs``, reusing and checkpointing results via ``store``.
 
@@ -122,12 +166,31 @@ def run_sweep(
         shard of ``specs`` (see :func:`~repro.sweeps.spec.shard_specs`).
         Results cover the shard's points only; ``SweepOutcome.total`` is
         the shard size, not the full sweep's.
+    telemetry:
+        Wall-clock recorder (``repro.obs``).  ``None`` (the default) still
+        measures the outcome's time accounting on a private recorder;
+        passing a live :class:`~repro.obs.Telemetry` additionally threads
+        it into every point's engine (per-probe spans) and keeps the full
+        span record — worker-process telemetry is shipped back and merged
+        under ``chunk{i}`` track labels.  Recording never changes any
+        result (the observables firewall, ``docs/observability.md``).
 
     When a store is given, the points this run was responsible for (the
     shard's, under sharding) are recorded in the store's ``manifest.json``
     before evaluation starts, so an interrupted shard still documents what
     it owes (``ResultStore.manifest_status``).
     """
+    # Accounting always runs on *some* recorder: the caller's, or a private
+    # one whose spans are discarded with the outcome's timing extracted.
+    acct: Telemetry | NullTelemetry = (
+        telemetry if telemetry is not None else Telemetry(track="sweep")
+    )
+    collect_detail = telemetry is not None and acct.enabled
+    clock = acct.clock if acct.enabled else None
+    run_start_ns = clock() if clock is not None else 0
+    computed_ns = 0
+    hit_ns = 0
+
     specs = list(specs)
     if shard is not None:
         index, count = shard
@@ -140,11 +203,21 @@ def run_sweep(
     results: list[SweepPointResult | None] = [None] * len(specs)
     cache_hits = 0
     if store is not None and resume:
+        scan_start_ns = clock() if clock is not None else 0
         for index, spec in enumerate(specs):
             cached = store.get(spec)
             if cached is not None:
                 results[index] = cached
                 cache_hits += 1
+        if clock is not None:
+            hit_ns = clock() - scan_start_ns
+            acct.span_at(
+                "sweep.cache.scan",
+                scan_start_ns,
+                scan_start_ns + hit_ns,
+                points=len(specs),
+                hits=cache_hits,
+            )
 
     # Unique missing specs, in first-appearance order (determinism).
     pending: dict[SweepPointSpec, list[int]] = {}
@@ -160,7 +233,8 @@ def run_sweep(
         for index in indices:
             results[index] = result
         if store is not None:
-            store.put(result)
+            with acct.span("sweep.point.store_append"):
+                store.put(result)
         done += len(indices)
         if progress is not None:
             progress(done, len(specs), result.spec)
@@ -169,16 +243,36 @@ def run_sweep(
     try:
         if workers <= 1 or len(unique) <= 1:
             for spec in unique:
-                record(evaluate_spec(spec))
+                point_start_ns = clock() if clock is not None else 0
+                result = evaluate_spec(
+                    spec, telemetry=acct if collect_detail else None
+                )
+                if clock is not None:
+                    point_end_ns = clock()
+                    computed_ns += point_end_ns - point_start_ns
+                    acct.span_at(
+                        "sweep.point.evaluate",
+                        point_start_ns,
+                        point_end_ns,
+                        workload=spec.workload_kind,
+                    )
+                record(result)
         else:
             chunk = max(1, int(chunk_size))
             chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
             first_error: Exception | None = None
+            dispatch_start_ns = clock() if clock is not None else 0
             with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-                futures = [pool.submit(_evaluate_chunk, part) for part in chunks]
+                futures = [
+                    pool.submit(_evaluate_chunk, part, collect_detail)
+                    for part in chunks
+                ]
+                # Track labels come from submission order, not completion
+                # order, so merged worker telemetry is stably named.
+                chunk_index = {future: i for i, future in enumerate(futures)}
                 for future in as_completed(futures):
                     try:
-                        chunk_results = future.result()
+                        chunk_results, chunk_telemetry = future.result()
                     except CancelledError:
                         continue  # cancelled after the first failure below
                     except Exception as exc:
@@ -191,16 +285,46 @@ def run_sweep(
                             for pending_future in futures:
                                 pending_future.cancel()
                         continue
+                    evaluate_dist = chunk_telemetry.get("values", {}).get(
+                        "sweep.point.evaluate_ns"
+                    )
+                    if evaluate_dist is not None:
+                        computed_ns += int(evaluate_dist["total"])
+                    acct.merge_child(
+                        chunk_telemetry, track=f"chunk{chunk_index[future]}"
+                    )
                     for result in chunk_results:
                         record(result)
+            if clock is not None:
+                acct.span_at(
+                    "sweep.pool.dispatch",
+                    dispatch_start_ns,
+                    clock(),
+                    chunks=len(chunks),
+                    workers=min(workers, len(chunks)),
+                )
             if first_error is not None:
                 raise first_error
     finally:
         if store is not None:
             store.flush_index()
 
+    elapsed_ns = 0
+    if clock is not None:
+        elapsed_ns = clock() - run_start_ns
+        acct.span_at(
+            "sweep.run",
+            run_start_ns,
+            run_start_ns + elapsed_ns,
+            points=len(specs),
+            computed=len(unique),
+            cache_hits=cache_hits,
+        )
     return SweepOutcome(
         results=[result for result in results if result is not None],
         cache_hits=cache_hits,
         computed=len(unique),
+        elapsed_seconds=elapsed_ns / 1e9,
+        computed_seconds=computed_ns / 1e9,
+        hit_seconds=hit_ns / 1e9,
     )

@@ -332,7 +332,9 @@ def _simulation_config(spec: SweepPointSpec) -> SimulationConfig:
     return config
 
 
-def _run_latencies(network, routing, workload, config, from_creation: bool) -> list[float]:
+def _run_latencies(
+    network, routing, workload, config, from_creation: bool, telemetry: Any = None
+) -> list[float]:
     """Run ``workload`` on a fresh simulator and return per-message latencies (µs).
 
     ``config.region_parallel`` routes the run through the region-parallel
@@ -342,15 +344,20 @@ def _run_latencies(network, routing, workload, config, from_creation: bool) -> l
     oversubscribe the host.  Results are identical either way — that is the
     region-parallel contract (``docs/region_parallel.md``) — so the knob
     only changes *how* the point is computed, never what it reports.
+
+    ``telemetry`` is an opaque wall-clock recorder (``repro.obs``) passed
+    straight through to the engine; this module never reads it — the
+    observables firewall (repro-lint R9) keeps telemetry out of every
+    result constructed here.
     """
     if config.region_parallel:
         from ..simulator.regions import run_region_parallel
 
         result = run_region_parallel(
-            network, routing, config, workload, max_workers=0
+            network, routing, config, workload, max_workers=0, telemetry=telemetry
         )
         return result.stats.latencies_us(from_creation=from_creation)
-    simulator = WormholeSimulator(network, routing, config)
+    simulator = WormholeSimulator(network, routing, config, telemetry=telemetry)
     workload.submit_to(simulator)
     stats = simulator.run()
     return stats.latencies_us(from_creation=from_creation)
@@ -370,7 +377,9 @@ def _tree_metrics(routing: SpamRouting) -> tuple[tuple[str, object], ...]:
 # ----------------------------------------------------------------------
 # Per-kind evaluators
 # ----------------------------------------------------------------------
-def _evaluate_single_multicast(spec: SweepPointSpec) -> SweepPointResult:
+def _evaluate_single_multicast(
+    spec: SweepPointSpec, telemetry: Any = None
+) -> SweepPointResult:
     network, routing = _network_and_routing(spec)
     params = spec.params()
     workload = single_multicast_workload(
@@ -380,7 +389,12 @@ def _evaluate_single_multicast(spec: SweepPointSpec) -> SweepPointResult:
         seed=spec.workload_seed,
     )
     latencies = _run_latencies(
-        network, routing, workload, _simulation_config(spec), from_creation=False
+        network,
+        routing,
+        workload,
+        _simulation_config(spec),
+        from_creation=False,
+        telemetry=telemetry,
     )
     return SweepPointResult(
         spec=spec,
@@ -389,7 +403,7 @@ def _evaluate_single_multicast(spec: SweepPointSpec) -> SweepPointResult:
     )
 
 
-def _evaluate_mixed(spec: SweepPointSpec) -> SweepPointResult:
+def _evaluate_mixed(spec: SweepPointSpec, telemetry: Any = None) -> SweepPointResult:
     network, routing = _network_and_routing(spec)
     params = spec.params()
     rate = float(params["rate_per_us"])
@@ -404,7 +418,12 @@ def _evaluate_mixed(spec: SweepPointSpec) -> SweepPointResult:
         arrival_process=make_arrival_process(arrival, rate),
     )
     latencies = _run_latencies(
-        network, routing, workload, _simulation_config(spec), from_creation=True
+        network,
+        routing,
+        workload,
+        _simulation_config(spec),
+        from_creation=True,
+        telemetry=telemetry,
     )
     return SweepPointResult(
         spec=spec,
@@ -419,6 +438,7 @@ def run_software_multicast_once(
     source: int,
     destinations: list[int],
     sim_config,
+    telemetry: Any = None,
 ) -> float:
     """Execute one binomial-tree software multicast and return its latency (µs).
 
@@ -427,7 +447,7 @@ def run_software_multicast_once(
     from the source's first startup until the last destination has received
     the payload.
     """
-    simulator = WormholeSimulator(network, updown, sim_config)
+    simulator = WormholeSimulator(network, updown, sim_config, telemetry=telemetry)
     scheduler = UnicastMulticastScheduler(source=source, destinations=tuple(destinations))
     last_delivery_ns = 0
 
@@ -456,7 +476,9 @@ def run_software_multicast_once(
     return last_delivery_ns / 1000.0
 
 
-def _evaluate_software_comparison(spec: SweepPointSpec) -> SweepPointResult:
+def _evaluate_software_comparison(
+    spec: SweepPointSpec, telemetry: Any = None
+) -> SweepPointResult:
     network, spam = _network_and_routing(spec)
     params = spec.params()
     config = _simulation_config(spec)
@@ -468,7 +490,10 @@ def _evaluate_software_comparison(spec: SweepPointSpec) -> SweepPointResult:
         seed=spec.workload_seed,
     )
     latencies = _require_latencies(
-        spec, _run_latencies(network, spam, workload, config, from_creation=False)
+        spec,
+        _run_latencies(
+            network, spam, workload, config, from_creation=False, telemetry=telemetry
+        ),
     )
     spam_latency = sum(latencies) / len(latencies)
     comparison = compare_against_bound(
@@ -480,13 +505,17 @@ def _evaluate_software_comparison(spec: SweepPointSpec) -> SweepPointResult:
         rng = np.random.default_rng(spec.workload_seed)
         source = uniform_source(network, rng)
         destinations = uniform_destinations(network, source, count, rng)
-        measured = run_software_multicast_once(network, updown, source, destinations, config)
+        measured = run_software_multicast_once(
+            network, updown, source, destinations, config, telemetry=telemetry
+        )
         metrics.append(("software_measured_us", measured))
         metrics.append(("measured_speedup", measured / spam_latency))
     return SweepPointResult(spec=spec, latencies_us=latencies, metrics=tuple(metrics))
 
 
-def _evaluate_partitioned_multicast(spec: SweepPointSpec) -> SweepPointResult:
+def _evaluate_partitioned_multicast(
+    spec: SweepPointSpec, telemetry: Any = None
+) -> SweepPointResult:
     network, routing = _network_and_routing(spec)
     params = spec.params()
     config = _simulation_config(spec)
@@ -497,7 +526,7 @@ def _evaluate_partitioned_multicast(spec: SweepPointSpec) -> SweepPointResult:
     partitions = partition_destinations(
         routing.tree, destinations, int(params["groups"]), str(params.get("strategy", "contiguous"))
     )
-    simulator = WormholeSimulator(network, routing, config)
+    simulator = WormholeSimulator(network, routing, config, telemetry=telemetry)
     messages = [
         simulator.submit_message(source, part, at_ns=0, metadata={"group": index})
         for index, part in enumerate(partitions)
@@ -513,7 +542,7 @@ def _evaluate_partitioned_multicast(spec: SweepPointSpec) -> SweepPointResult:
 
 
 #: Registry of workload kinds to their evaluators.
-WORKLOAD_KINDS: dict[str, Callable[[SweepPointSpec], SweepPointResult]] = {
+WORKLOAD_KINDS: dict[str, Callable[[SweepPointSpec, Any], SweepPointResult]] = {
     "single-multicast": _evaluate_single_multicast,
     "mixed": _evaluate_mixed,
     "software-comparison": _evaluate_software_comparison,
@@ -521,12 +550,17 @@ WORKLOAD_KINDS: dict[str, Callable[[SweepPointSpec], SweepPointResult]] = {
 }
 
 
-def evaluate_spec(spec: SweepPointSpec) -> SweepPointResult:
-    """Run one sweep point to completion (executed inside worker processes)."""
+def evaluate_spec(spec: SweepPointSpec, telemetry: Any = None) -> SweepPointResult:
+    """Run one sweep point to completion (executed inside worker processes).
+
+    ``telemetry`` is an opaque ``repro.obs`` recorder forwarded to the
+    point's engine(s); it never participates in spec identity, caching or
+    the returned result.
+    """
     evaluator = WORKLOAD_KINDS.get(spec.workload_kind)
     if evaluator is None:
         raise ValueError(
             f"unknown workload kind {spec.workload_kind!r} "
             f"(known: {sorted(WORKLOAD_KINDS)})"
         )
-    return evaluator(spec)
+    return evaluator(spec, telemetry)

@@ -1,0 +1,672 @@
+"""Tests for ``repro.obs``: the recorder, the exporters, and the firewall's
+dynamic half — telemetry on vs off must be observably bit-identical.
+
+The static half of the observables firewall (nothing from ``repro.obs``
+flows into fingerprinted results) is enforced by repro-lint rule R9 and
+tested in ``tests/test_repro_lint.py``.  This module tests the dynamic
+contract the sanction rests on:
+
+* recording telemetry never changes any observable — every equivalence
+  regime (single-process fast path, region-parallel at 2/4 regions with
+  and without a real process pool, sweep evaluation) fingerprints
+  identically with ``config.telemetry`` on and off;
+* the disabled path really is the no-op singleton (zero per-event cost);
+* the exporters are deterministic given an injected clock, produce
+  schema-valid snapshots and loadable Chrome traces, and the summary
+  tables ``repro-spam obs summarize`` prints add up.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    chrome_trace_events,
+    summarize_snapshot,
+    validate_chrome_trace,
+    validate_snapshot,
+    write_chrome_trace,
+    write_snapshot,
+)
+from repro.obs.export import snapshot_dict
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import WormholeSimulator
+from repro.simulator.regions import run_region_parallel, simulator_fingerprint
+from repro.sweeps import run_sweep
+from repro.sweeps.spec import SweepPointSpec
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.workload import (
+    MessageSpec,
+    Workload,
+    mixed_traffic_workload,
+    single_multicast_workload,
+)
+
+
+class _FakeClock:
+    """Deterministic monotonic clock for golden-file exporter tests."""
+
+    def __init__(self, step_ns: int = 100):
+        self.now_ns = 0
+        self.step_ns = step_ns
+
+    def __call__(self) -> int:
+        self.now_ns += self.step_ns
+        return self.now_ns
+
+
+# ----------------------------------------------------------------------
+# The recorder
+# ----------------------------------------------------------------------
+class TestTelemetryRecorder:
+    def test_span_context_manager_records_duration(self):
+        tel = Telemetry(clock=_FakeClock(step_ns=50))
+        with tel.span("work", shard=3):
+            pass
+        (span,) = tel.spans
+        assert span["name"] == "work"
+        assert span["track"] == "main"
+        assert span["start_ns"] == 50
+        assert span["dur_ns"] == 50
+        assert span["attrs"] == {"shard": 3}
+
+    def test_begin_end_nest_and_annotate(self):
+        tel = Telemetry(clock=_FakeClock())
+        tel.begin("outer")
+        tel.begin("inner")
+        tel.annotate(detail=7)
+        tel.end()
+        tel.end(clean=True)
+        names = [span["name"] for span in tel.spans]
+        assert names == ["inner", "outer"]  # innermost closes first
+        inner, outer = tel.spans
+        assert inner["attrs"] == {"detail": 7}
+        assert outer["attrs"] == {"clean": True}
+        assert outer["start_ns"] < inner["start_ns"]
+        assert outer["start_ns"] + outer["dur_ns"] > inner["start_ns"] + inner["dur_ns"]
+
+    def test_span_at_clamps_negative_durations(self):
+        tel = Telemetry(clock=_FakeClock())
+        tel.span_at("backwards", 100, 40)
+        assert tel.spans[0]["dur_ns"] == 0
+
+    def test_counters_gauges_and_value_distributions(self):
+        tel = Telemetry(clock=_FakeClock())
+        tel.counter("hits")
+        tel.counter("hits", 4)
+        tel.gauge("depth", 2.0)
+        tel.gauge("depth", 5.0)
+        for observation in (30.0, 10.0, 20.0):
+            tel.value("probe_ns", observation)
+        assert tel.counters == {"hits": 5}
+        assert tel.gauges == {"depth": 5.0}  # last write wins
+        assert tel.values == {
+            "probe_ns": {"count": 3, "total": 60.0, "min": 10.0, "max": 30.0}
+        }
+
+    def test_span_list_is_bounded(self):
+        tel = Telemetry(clock=_FakeClock(), max_spans=2)
+        for index in range(5):
+            tel.span_at("s", index, index + 1)
+        assert len(tel.spans) == 2
+        assert tel.spans_dropped == 3
+
+    def test_aggregation_helpers(self):
+        tel = Telemetry(clock=_FakeClock())
+        tel.span_at("a", 0, 10)
+        tel.span_at("b", 10, 30)
+        tel.span_at("a", 30, 35)
+        assert tel.span_total_ns("a") == 15
+        assert tel.span_count("a") == 2
+        assert [span["dur_ns"] for span in tel.iter_spans("a")] == [10, 5]
+
+    def test_payload_roundtrip_and_child_merge(self):
+        child = Telemetry(track="worker", clock=_FakeClock())
+        child.span_at("evaluate", 0, 100)
+        child.counter("points", 3)
+        child.gauge("chunk", 1.0)
+        child.value("evaluate_ns", 100.0)
+        payload = child.to_payload()
+        # The payload must survive JSON (the pickling boundary is at least
+        # this strict).
+        payload = json.loads(json.dumps(payload))
+
+        parent = Telemetry(track="main", clock=_FakeClock())
+        parent.counter("points", 1)
+        parent.merge_child(payload, track="chunk0")
+        (span,) = parent.spans
+        assert span["track"] == "chunk0"  # re-labelled on the way in
+        assert parent.counters == {"points": 1, "chunk0/points": 3}
+        assert parent.gauges == {"chunk0/chunk": 1.0}
+        assert parent.values["chunk0/evaluate_ns"]["count"] == 1
+
+    def test_merge_child_folds_distributions_and_dropped_counts(self):
+        parent = Telemetry(clock=_FakeClock())
+        parent.merge_child(
+            {
+                "values": {"d": {"count": 2, "total": 30.0, "min": 10.0, "max": 20.0}},
+                "spans_dropped": 4,
+            },
+            track="w",
+        )
+        parent.merge_child(
+            {"values": {"d": {"count": 1, "total": 5.0, "min": 5.0, "max": 5.0}}},
+            track="w",
+        )
+        assert parent.values["w/d"] == {
+            "count": 3,
+            "total": 35.0,
+            "min": 5.0,
+            "max": 20.0,
+        }
+        assert parent.spans_dropped == 4
+
+    def test_merge_child_respects_span_bound(self):
+        parent = Telemetry(clock=_FakeClock(), max_spans=1)
+        payload = {
+            "spans": [
+                {"name": "a", "track": "w", "start_ns": 0, "dur_ns": 1, "attrs": {}},
+                {"name": "b", "track": "w", "start_ns": 1, "dur_ns": 1, "attrs": {}},
+            ]
+        }
+        parent.merge_child(payload, track="w")
+        assert len(parent.spans) == 1
+        assert parent.spans_dropped == 1
+
+
+class TestNullTelemetry:
+    def test_module_singleton_is_disabled(self):
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry().enabled is True
+
+    def test_every_recording_method_is_stateless(self):
+        tel = NULL_TELEMETRY
+        tel.begin("x")
+        tel.end()
+        tel.span_at("x", 0, 10)
+        tel.counter("c")
+        tel.gauge("g", 1.0)
+        tel.value("v", 1.0)
+        tel.annotate(a=1)
+        tel.merge_child({"spans": [], "counters": {"c": 1}}, track="w")
+        assert tel.spans == ()
+        assert tel.counters == {}
+        assert tel.span_total_ns("x") == 0
+        assert tel.span_count("x") == 0
+        assert list(tel.iter_spans("x")) == []
+        assert tel.to_payload()["spans"] == []
+
+    def test_span_hands_back_one_shared_context_manager(self):
+        # The no-op overhead contract: a disabled ``with telemetry.span()``
+        # allocates nothing — every call returns the same inert object.
+        first = NULL_TELEMETRY.span("a", attr=1)
+        second = NULL_TELEMETRY.span("b")
+        assert first is second
+        with first:
+            pass
+
+    def test_disabled_engine_holds_the_singleton_and_raw_probe(self):
+        # Telemetry off must select the shared no-op recorder and leave the
+        # fast path's probe entry un-instrumented (zero per-event overhead).
+        from repro.topology.examples import two_switch_network
+
+        net = two_switch_network()
+        from repro.core.spam import SpamRouting
+
+        simulator = WormholeSimulator(net, SpamRouting.build(net), SimulationConfig())
+        assert simulator.telemetry is NULL_TELEMETRY
+        assert simulator._obs_clock is None
+
+
+# ----------------------------------------------------------------------
+# Telemetry on vs off: bit-identical observables (the dynamic firewall)
+# ----------------------------------------------------------------------
+def _engine_fingerprint(network, routing, workload, config, telemetry=None, until_ns=None):
+    simulator = WormholeSimulator(network, routing, config, telemetry=telemetry)
+    workload.submit_to(simulator)
+    stats = simulator.run(until_ns=until_ns)
+    return simulator_fingerprint(simulator, stats), simulator
+
+
+def _scenario_workloads(lattice32):
+    """The equivalence regimes, as (name, workload, flits, overrides)."""
+    processors = lattice32.processors()
+    broadcast = Workload("broadcast")
+    broadcast.specs.append(MessageSpec(processors[0], tuple(processors[1:]), 0))
+    contended = Workload("contended")
+    for index in range(4):
+        contended.specs.append(
+            MessageSpec(processors[index], tuple(processors[8:16]), index * 30)
+        )
+    slow = single_multicast_workload(lattice32, num_destinations=6, samples=2, seed=5)
+    slow_cid = lattice32.injection_channel(processors[0]).cid
+    return [
+        ("broadcast", broadcast, 64, {}),
+        ("contended_multicasts", contended, 32, {}),
+        (
+            "mixed_poisson_128f",
+            mixed_traffic_workload(
+                lattice32,
+                rate_per_us=0.02,
+                multicast_destinations=8,
+                num_messages=40,
+                seed=11,
+                arrival_process=PoissonArrivals(0.02),
+            ),
+            128,
+            {},
+        ),
+        (
+            "mixed_negative_binomial_128f",
+            mixed_traffic_workload(
+                lattice32, rate_per_us=0.02, multicast_destinations=8,
+                num_messages=40, seed=11,
+            ),
+            128,
+            {},
+        ),
+        (
+            "slow_channel_multi_period",
+            slow,
+            96,
+            {"channel_latency_factors": ((slow_cid, 2),)},
+        ),
+    ]
+
+
+@pytest.mark.equivalence
+class TestTelemetryOnOffEquivalence:
+    """``config.telemetry`` may never change a fingerprint, anywhere."""
+
+    def test_engine_scenarios_bit_identical(self, lattice32, lattice32_spam):
+        for name, workload, flits, overrides in _scenario_workloads(lattice32):
+            base = SimulationConfig(
+                message_length_flits=flits,
+                trace=True,
+                collect_channel_stats=True,
+                **overrides,
+            )
+            off, _ = _engine_fingerprint(lattice32, lattice32_spam, workload, base)
+            on, simulator = _engine_fingerprint(
+                lattice32,
+                lattice32_spam,
+                workload,
+                base.with_overrides(telemetry=True),
+            )
+            assert on == off, f"telemetry changed observables in {name!r}"
+            tel = simulator.telemetry
+            assert tel.enabled, name
+            assert tel.span_count("engine.run") == 1, name
+            # Non-vacuity: the instrumented probe classified every window it
+            # saw, and the tier counters agree with the probe span count.
+            probes = tel.span_count("engine.probe")
+            tier_total = sum(
+                count
+                for key, count in tel.counters.items()
+                if key.startswith("engine.probe.") and not key.startswith("engine.probe.k.")
+            )
+            assert probes > 0, f"{name!r} never engaged the fast path probe"
+            assert probes == tier_total, name
+            assert tel.gauges["engine.coalesce_snapshots"] == simulator.coalesce_snapshots
+
+    def test_bounded_windows_bit_identical(self, lattice32, lattice32_spam):
+        workload = mixed_traffic_workload(
+            lattice32, rate_per_us=0.02, multicast_destinations=8,
+            num_messages=24, seed=3,
+        )
+        base = SimulationConfig(
+            message_length_flits=64, trace=True, collect_channel_stats=True
+        )
+        fingerprints = []
+        for telemetry_on in (False, True):
+            config = base.with_overrides(telemetry=telemetry_on)
+            simulator = WormholeSimulator(lattice32, lattice32_spam, config)
+            workload.submit_to(simulator)
+            while not all(m.is_complete for m in simulator.messages.values()):
+                simulator.run_for(25_000)
+            fingerprints.append(simulator_fingerprint(simulator, simulator.stats))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_region_parallel_bit_identical_at_2_and_4_regions(
+        self, lattice32, lattice32_spam
+    ):
+        workload = mixed_traffic_workload(
+            lattice32, rate_per_us=0.02, multicast_destinations=8,
+            num_messages=32, seed=9,
+        )
+        for region_count in (2, 4):
+            config = SimulationConfig(
+                message_length_flits=64,
+                trace=True,
+                collect_channel_stats=True,
+                region_parallel=True,
+                region_count=region_count,
+            )
+            off = run_region_parallel(
+                lattice32, lattice32_spam, config, workload.specs, max_workers=0
+            )
+            on = run_region_parallel(
+                lattice32,
+                lattice32_spam,
+                config.with_overrides(telemetry=True),
+                workload.specs,
+                max_workers=0,
+            )
+            assert on.fingerprint() == off.fingerprint(), region_count
+            assert off.telemetry is NULL_TELEMETRY
+            tel = on.telemetry
+            assert tel.enabled
+            # Phase spans and shard-merged engine telemetry are all present.
+            for phase in ("region.plan", "region.execute", "region.merge"):
+                assert tel.span_count(phase) >= 1, (region_count, phase)
+            assert tel.span_count("region.shard.run") == tel.gauges["region.shards"]
+            assert any(track.startswith("shard") for track in
+                       {span["track"] for span in tel.spans})
+
+    def test_region_parallel_real_process_pool_ships_worker_telemetry(
+        self, lattice32, lattice32_spam
+    ):
+        # A region-local workload that genuinely splits into shards, run on
+        # a real 2-process pool: observables identical, every shard's
+        # telemetry payload shipped back and merged under shard{i} tracks.
+        from repro.core.regions import assign_regions
+        import random as _random
+
+        assignment = assign_regions(lattice32, 4, tree=lattice32_spam.tree)
+        rng = _random.Random(4)
+        workload = Workload("region-local")
+        for switches in assignment.regions:
+            processors = [
+                p for sw in switches for p in lattice32.processors_of(sw)
+            ]
+            if len(processors) < 2:
+                continue
+            source, dest = rng.sample(processors, 2)
+            workload.specs.append(MessageSpec(source, (dest,), 0))
+        config = SimulationConfig(
+            message_length_flits=32,
+            trace=True,
+            collect_channel_stats=True,
+            region_parallel=True,
+            region_count=4,
+            telemetry=True,
+        )
+        reference = run_region_parallel(
+            lattice32, lattice32_spam, config.with_overrides(telemetry=False),
+            workload.specs, max_workers=0,
+        )
+        pooled = run_region_parallel(
+            lattice32, lattice32_spam, config, workload.specs, max_workers=2
+        )
+        assert pooled.fingerprint() == reference.fingerprint()
+        assert pooled.region_processes > 0, "pool never engaged; test is vacuous"
+        shard_tracks = {
+            span["track"]
+            for span in pooled.telemetry.spans
+            if span["track"].startswith("shard")
+        }
+        assert len(shard_tracks) == pooled.region_shards
+        assert pooled.telemetry.span_count("region.shard.run") == pooled.region_shards
+
+    def test_sweep_results_identical_and_worker_telemetry_merged(self):
+        specs = [
+            SweepPointSpec(
+                workload_kind="single-multicast",
+                network_size=16,
+                topology_seed=2,
+                message_length_flits=16,
+                workload_params=(("num_destinations", degree), ("samples", 2)),
+                workload_seed=degree,
+            )
+            for degree in (2, 4, 6)
+        ]
+        plain = run_sweep(list(specs))
+        tel = Telemetry(track="sweep")
+        observed = run_sweep(list(specs), telemetry=tel)
+        assert observed.results == plain.results
+        assert tel.span_count("sweep.point.evaluate") == len(specs)
+        assert observed.computed_seconds > 0.0
+        assert observed.elapsed_seconds > 0.0
+
+        pooled_tel = Telemetry(track="sweep")
+        pooled = run_sweep(list(specs), workers=2, telemetry=pooled_tel)
+        assert pooled.results == plain.results
+        # Worker-process telemetry came back under chunk{i} track labels.
+        chunk_tracks = {
+            span["track"]
+            for span in pooled_tel.spans
+            if span["track"].startswith("chunk")
+        }
+        assert chunk_tracks, "no worker telemetry shipped back"
+        assert pooled_tel.span_count("sweep.pool.dispatch") == 1
+        assert pooled.computed_seconds > 0.0
+
+    def test_sweep_time_accounting_without_caller_recorder(self, tmp_path):
+        # run_sweep measures its outcome timing even with telemetry=None,
+        # and the summary line carries the accounting the resume check and
+        # CI grep on.
+        from repro.sweeps import ResultStore
+
+        specs = [
+            SweepPointSpec(
+                workload_kind="single-multicast",
+                network_size=16,
+                topology_seed=2,
+                message_length_flits=16,
+                workload_params=(("num_destinations", 4), ("samples", 2)),
+                workload_seed=7,
+            )
+        ]
+        store = ResultStore(tmp_path / "cache")
+        cold = run_sweep(list(specs), store=store)
+        warm = run_sweep(list(specs), store=store)
+        assert cold.computed == 1 and cold.computed_seconds > 0.0
+        assert warm.cache_hits == 1 and warm.computed_seconds == 0.0
+        assert warm.hit_seconds > 0.0
+        assert "1 computed" in cold.summary()
+        assert "s elapsed)" in cold.summary()
+
+
+# ----------------------------------------------------------------------
+# Exporters (deterministic via the injected clock)
+# ----------------------------------------------------------------------
+def _golden_telemetry() -> Telemetry:
+    tel = Telemetry(track="main", clock=_FakeClock(step_ns=1000))
+    with tel.span("engine.run", bounded=False):
+        tel.span_at("engine.probe", 1500, 2500, tier="batch", k=2, ticks=40)
+    tel.counter("engine.probe.batch", 1)
+    tel.gauge("engine.coalesce_batches", 1)
+    tel.value("engine.probe.batch_ns", 1000.0)
+    tel.merge_child(
+        {
+            "spans": [
+                {
+                    "name": "region.shard.run",
+                    "track": "shard",
+                    "start_ns": 0,
+                    "dur_ns": 500,
+                    "attrs": {"messages": 2},
+                }
+            ],
+            "counters": {"engine.probe.scan_reject": 3},
+            "values": {
+                "engine.probe.scan_reject_ns": {
+                    "count": 3, "total": 300.0, "min": 50.0, "max": 150.0,
+                }
+            },
+        },
+        track="shard0",
+    )
+    return tel
+
+
+class TestExporters:
+    def test_snapshot_golden(self):
+        document = snapshot_dict(_golden_telemetry())
+        assert document == {
+            "schema": "repro.obs/snapshot",
+            "version": 1,
+            "track": "main",
+            "spans": [
+                {
+                    "name": "engine.probe",
+                    "track": "main",
+                    "start_ns": 1500,
+                    "dur_ns": 1000,
+                    "attrs": {"tier": "batch", "k": 2, "ticks": 40},
+                },
+                {
+                    "name": "engine.run",
+                    "track": "main",
+                    "start_ns": 1000,
+                    "dur_ns": 1000,
+                    "attrs": {"bounded": False},
+                },
+                {
+                    "name": "region.shard.run",
+                    "track": "shard0",
+                    "start_ns": 0,
+                    "dur_ns": 500,
+                    "attrs": {"messages": 2},
+                },
+            ],
+            "spans_dropped": 0,
+            "counters": {
+                "engine.probe.batch": 1,
+                "shard0/engine.probe.scan_reject": 3,
+            },
+            "gauges": {"engine.coalesce_batches": 1},
+            "values": {
+                "engine.probe.batch_ns": {
+                    "count": 1, "total": 1000.0, "min": 1000.0, "max": 1000.0,
+                },
+                "shard0/engine.probe.scan_reject_ns": {
+                    "count": 3, "total": 300.0, "min": 50.0, "max": 150.0,
+                },
+            },
+        }
+
+    def test_written_snapshot_validates_against_checked_in_schema(self, tmp_path):
+        path = write_snapshot(_golden_telemetry(), tmp_path / "obs" / "snap.json")
+        document = json.loads(path.read_text())
+        assert validate_snapshot(document) == []
+
+    def test_validator_rejects_malformed_snapshots(self):
+        good = snapshot_dict(_golden_telemetry())
+        assert validate_snapshot(good) == []
+
+        wrong_schema = dict(good, schema="something.else")
+        assert any("expected" in error for error in validate_snapshot(wrong_schema))
+
+        missing = dict(good)
+        del missing["counters"]
+        assert any("counters" in error for error in validate_snapshot(missing))
+
+        bad_span = json.loads(json.dumps(good))
+        bad_span["spans"][0]["dur_ns"] = -5
+        assert any("minimum" in error for error in validate_snapshot(bad_span))
+
+        extra = dict(good, surprise=1)
+        assert any("surprise" in error for error in validate_snapshot(extra))
+
+        bad_value = json.loads(json.dumps(good))
+        bad_value["values"]["engine.probe.batch_ns"]["count"] = "three"
+        assert validate_snapshot(bad_value) != []
+
+    def test_chrome_trace_golden_and_well_formed(self, tmp_path):
+        events = chrome_trace_events(_golden_telemetry())
+        # One thread-name metadata record per track, in first-seen order.
+        meta = [event for event in events if event["ph"] == "M"]
+        assert [event["args"]["name"] for event in meta] == ["main", "shard0"]
+        complete = [event for event in events if event["ph"] == "X"]
+        assert [event["name"] for event in complete] == [
+            "engine.probe", "engine.run", "region.shard.run",
+        ]
+        probe = complete[0]
+        assert probe["ts"] == 1.5 and probe["dur"] == 1.0  # ns -> us
+        assert probe["args"] == {"tier": "batch", "k": 2, "ticks": 40}
+        assert {event["tid"] for event in complete} == {0, 1}
+
+        path = write_chrome_trace(_golden_telemetry(), tmp_path / "snap.trace.json")
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+        assert document["traceEvents"] == events
+
+    def test_chrome_trace_validator_rejects_malformed_documents(self):
+        assert validate_chrome_trace(42) != []
+        assert validate_chrome_trace({"notTraceEvents": []}) != []
+        assert validate_chrome_trace({"traceEvents": [{"name": "x"}]}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0,
+                              "pid": 0, "tid": True}]}
+        ) != []
+        assert validate_chrome_trace([]) == []  # bare array form
+
+    def test_summarize_snapshot_tables(self):
+        document = snapshot_dict(_golden_telemetry())
+        tables = summarize_snapshot(document)
+        tiers = {row["tier"]: row for row in tables["tiers"]}
+        # Track prefixes are stripped, so the shard's scan rejects aggregate
+        # with the parent's batch tier into one attribution table.
+        assert set(tiers) == {"batch", "scan_reject"}
+        assert tiers["batch"]["probes"] == 1
+        assert tiers["scan_reject"]["probes"] == 3
+        assert tiers["batch"]["total_ms"] == pytest.approx(1000.0 / 1e6)
+        assert sum(row["share"] for row in tables["tiers"]) == pytest.approx(1.0)
+        spans = {row["span"]: row for row in tables["spans"]}
+        assert spans["engine.run"]["count"] == 1
+        assert spans["region.shard.run"]["total_ms"] == pytest.approx(500.0 / 1e6)
+
+
+# ----------------------------------------------------------------------
+# CLI: --telemetry artifacts, obs validate / obs summarize
+# ----------------------------------------------------------------------
+class TestObsCli:
+    def test_figure2_telemetry_artifacts_validate_end_to_end(self, capsys, tmp_path):
+        out = tmp_path / "fig2.obs.json"
+        rc = main([
+            "--scale", "smoke", "figure2", "--network-sizes", "16",
+            "--telemetry", str(out),
+        ])
+        assert rc == 0
+        trace = out.with_suffix(".trace.json")
+        assert out.exists() and trace.exists()
+        document = json.loads(out.read_text())
+        assert validate_snapshot(document) == []
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        # The smoke figure exercised the engine, so per-tier probe
+        # distributions made it into the unified snapshot.
+        assert any(
+            key.rsplit("/", 1)[-1].startswith("engine.probe.")
+            for key in document["values"]
+        )
+        capsys.readouterr()
+
+        assert main(["obs", "validate", str(out)]) == 0
+        validated = capsys.readouterr().out
+        assert "ok" in validated and str(trace) in validated
+
+        assert main(["obs", "summarize", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "probe time attribution" in summary
+        assert "sweep.run" in summary
+
+    def test_obs_validate_fails_on_malformed_snapshot(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.obs/snapshot"}))
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "missing required" in capsys.readouterr().err
+
+    def test_obs_validate_checks_an_explicit_trace_file(self, capsys, tmp_path):
+        snap = write_snapshot(_golden_telemetry(), tmp_path / "snap.json")
+        bad_trace = tmp_path / "bad.trace.json"
+        bad_trace.write_text(json.dumps({"traceEvents": [{"name": "x"}]}))
+        assert main(["obs", "validate", str(snap), "--trace", str(bad_trace)]) == 1
+        assert "trace:" in capsys.readouterr().err

@@ -631,6 +631,154 @@ def test_r8_silent_when_every_knob_in_code_spans(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# R9: observables firewall
+# ----------------------------------------------------------------------
+def test_r9_fires_when_sink_module_imports_obs(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        from ..obs import Telemetry
+
+        class TraceEvent:
+            pass
+        """,
+        relpath="src/repro/simulator/trace.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+    assert "sink module" in result.findings[0].message
+
+
+def test_r9_fires_on_absolute_obs_import_in_sink_module(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        import repro.obs.export
+        """,
+        relpath="src/repro/sweeps/store.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+
+
+def test_r9_allows_orchestration_modules_to_import_obs(tmp_path):
+    # The engine/scheduler layer may hold a recorder; only the modules
+    # defining observable result types are locked down.
+    result = lint_snippet(
+        tmp_path,
+        """
+        from ..obs import NULL_TELEMETRY, Telemetry
+
+        def run(telemetry=NULL_TELEMETRY):
+            with telemetry.span("engine.run"):
+                return 1
+        """,
+        relpath="src/repro/simulator/engine.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_r9_fires_on_telemetry_value_fed_to_sink_call(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        def finish(store, result, telemetry):
+            span_ns = telemetry.span_total_ns("engine.run")
+            store.put(result, probe_span=span_ns)
+        """,
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+    assert "store.put" not in result.findings[0].message  # terminal name only
+    assert "put()" in result.findings[0].message
+
+
+def test_r9_fires_on_telemetry_positional_arg_to_sink_constructor(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        def build(telemetry_ns):
+            return TraceEvent(telemetry_ns)
+        """,
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+
+
+def test_r9_spanning_tree_vocabulary_does_not_trip_the_taint_heuristic(tmp_path):
+    # ``span`` must match as a whole component: the simulator's spanning-tree
+    # vocabulary is legitimate observable input.
+    result = lint_snippet(
+        tmp_path,
+        """
+        def build(spanning_tree, spanning):
+            record(spanning_tree, depth=spanning.depth)
+            return observable_fingerprint(spanning_tree)
+        """,
+        select=["R9"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_r9_obs_package_must_stay_stdlib_leaf(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        from ..simulator.stats import SimulationStats
+        """,
+        relpath="src/repro/obs/export.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+    assert "leaf" in result.findings[0].message
+
+
+def test_r9_obs_package_absolute_repro_import_also_fires(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        import repro.simulator.config
+        """,
+        relpath="src/repro/obs/runtime.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == ["R9"]
+
+
+def test_r9_obs_package_stdlib_and_intra_obs_imports_are_fine(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        import json
+        import time
+        from pathlib import Path
+        from .telemetry import Telemetry
+        """,
+        relpath="src/repro/obs/export.py",
+        select=["R9"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_r4_excludes_obs_package_by_rule_scoped_sanction(tmp_path):
+    # The same perf_counter read that R4 flags in the library is sanctioned
+    # inside src/repro/obs/* (R9's firewall bounds what can flow out).
+    code = """
+        import time
+
+        def stamp():
+            return time.perf_counter_ns()
+    """
+    flagged = lint_snippet(tmp_path / "library", code, select=["R4"])
+    assert rule_ids(flagged) == ["R4"]
+    sanctioned = lint_snippet(
+        tmp_path / "obs", code, relpath="src/repro/obs/telemetry.py", select=["R4"]
+    )
+    assert rule_ids(sanctioned) == []
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 def test_pragma_with_reason_suppresses(tmp_path):
@@ -750,10 +898,10 @@ def test_unknown_select_rule_raises(tmp_path):
         lint_project(tmp_path, {"src/repro/module.py": "x = 1\n"}, select=["R99"])
 
 
-def test_registry_covers_r1_through_r8():
+def test_registry_covers_r1_through_r9():
     ids = [rule.rule_id for rule in all_rules()]
     assert ids == sorted(ids)
-    for expected in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]:
+    for expected in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]:
         assert expected in ids
 
 

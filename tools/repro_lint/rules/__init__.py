@@ -14,6 +14,7 @@ R5        float-order         non-associative float sums over unordered iterable
 R6        counter-discipline  uninitialized counters; undocumented ``coalesce*``
 R7        pool-purity         module-state mutation in process-pool workers
 R8        config-knob-docs    undocumented ``SimulationConfig`` fields
+R9        observables-firewall telemetry (``repro.obs``) leaking into observables
 ========  ==================  ====================================================
 
 (E0 — unparseable file — and R0 are emitted by the framework itself.)
@@ -22,4 +23,4 @@ new module here, decorate it with ``@register``, and import the module
 below; ``docs/determinism.md`` documents the policy a new rule must follow.
 """
 
-from . import counters, docs, environment, hashing, iteration, purity, rng  # noqa: F401
+from . import counters, docs, environment, hashing, iteration, obs, purity, rng  # noqa: F401

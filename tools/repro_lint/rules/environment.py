@@ -8,11 +8,16 @@ library makes results depend on when/where they ran — the exact failure
 mode the content-addressed store exists to prevent.
 
 Environment reads deserve a note: a handful of sanctioned knobs exist
-(``REPRO_SWEEP_WORKERS`` — parallelism only, results bit-identical;
-``REPRO_SWEEP_CACHE`` — store *location*, not content; ``REPRO_SCALE`` /
-``REPRO_FLITS`` / ``REPRO_SAMPLES`` — explicit scale selectors for CI).
-Those sites carry justified pragmas; anything new must either flow through
-configuration objects or argue its own pragma.
+(``REPRO_SWEEP_WORKERS`` / ``REPRO_REGION_WORKERS`` — parallelism only,
+results bit-identical; ``REPRO_SWEEP_CACHE`` — store *location*, not
+content; ``REPRO_SCALE`` / ``REPRO_FLITS`` / ``REPRO_SAMPLES`` — explicit
+scale selectors for CI).  Worker-count knobs flow through the single
+sanctioned reader :func:`repro.obs.runtime.env_knob`; the ``repro.obs``
+package as a whole is excluded from this rule (a rule-scoped sanction —
+it owns the monotonic telemetry clock too), with rule R9's observables
+firewall statically bounding what can flow out of it.  Remaining sites
+carry justified pragmas; anything new must either flow through
+configuration objects, ``env_knob``, or argue its own pragma.
 """
 
 from __future__ import annotations
@@ -60,6 +65,12 @@ class EnvironmentLeakRule(FileRule):
         "everything through config objects and simulated time"
     )
     scope = ("src/repro/*",)
+    # Rule-scoped sanction: repro.obs owns the monotonic telemetry clock
+    # (Telemetry's default perf_counter_ns) and the runtime-knob reader
+    # (env_knob); R9's observables firewall keeps everything recorded there
+    # out of simulation/sweep results, which is the property this rule
+    # protects per-site everywhere else.
+    exclude = ("src/repro/obs/*",)
 
     def check_file(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
         aliases, names = _module_aliases(ctx.tree)
