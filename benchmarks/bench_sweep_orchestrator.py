@@ -21,7 +21,7 @@ import pytest
 
 from repro.experiments.common import current_scale
 from repro.experiments.figure3 import Figure3Config, figure3_specs
-from repro.sweeps import ResultStore, run_sweep
+from repro.sweeps import ResultStore, SweepPointSpec, run_sweep
 
 
 @pytest.mark.benchmark(group="sweeps")
@@ -58,4 +58,84 @@ def test_sweep_cold_vs_warm_cache(benchmark, record_result, tmp_path):
         f"cold: {cold_seconds:.3f} s ({cold.summary()})\n"
         f"warm: {warm_seconds:.6f} s ({warm.summary()})\n"
         f"speedup: {speedup:.0f}x",
+    )
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_batched_replication_throughput(benchmark, record_result, tmp_path):
+    """Batched Monte-Carlo backend vs one-task-per-point, replication-heavy.
+
+    The scenario is the regime the batched mode exists for: many Monte-Carlo
+    replications of one Figure-3 style mixed-traffic point on a single large
+    topology, each replication differing only in its workload/selection
+    seeds.  The stateful ``"random"`` selection forces the per-point path to
+    rebuild the network, spanning tree, labelling and ancestry for *every*
+    replication (sharing a stateful RNG would break the content-addressed
+    cache contract), while the batched path builds that skeleton once and
+    reseeds only the selection — which is where the ≥5x comes from.
+
+    Asserts bit-identical results (the batched-mode contract) and the ≥5x
+    replications/sec acceptance floor from the issue.
+    """
+    replications = 12
+    specs = [
+        SweepPointSpec(
+            workload_kind="mixed",
+            network_size=192,
+            topology_seed=7,
+            message_length_flits=16,
+            workload_params=(
+                ("rate_per_us", 0.02),
+                ("multicast_destinations", 8),
+                ("num_messages", 4),
+                ("multicast_fraction", 0.25),
+                ("arrival", "poisson"),
+            ),
+            workload_seed=100 + i,
+            selection="random",
+            selection_seed=i,
+            label="replication",
+            x=float(i),
+        )
+        for i in range(replications)
+    ]
+
+    t0 = time.perf_counter()
+    per_point = run_sweep(specs, store=ResultStore(tmp_path / "per-point"))
+    per_point_seconds = time.perf_counter() - t0
+
+    batched = benchmark.pedantic(
+        lambda: run_sweep(
+            specs,
+            store=ResultStore(tmp_path / "batched"),
+            batch_replications=replications,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    batched_seconds = benchmark.stats.stats.mean if benchmark.stats else 0.0
+
+    assert batched.results == per_point.results, (
+        "batched replications must be bit-identical to the per-point path"
+    )
+    assert batched.computed == replications and batched.cache_hits == 0
+    speedup = per_point_seconds / max(batched_seconds, 1e-9)
+    assert speedup >= 5.0, (
+        f"batched mode only {speedup:.1f}x faster than per-point"
+    )
+
+    per_point_rate = replications / per_point_seconds
+    batched_rate = replications / max(batched_seconds, 1e-9)
+    record_result(
+        "sweep_orchestrator_batched",
+        "Sweep orchestrator — batched Monte-Carlo replications vs "
+        "one-task-per-point\n"
+        f"replications={replications}, network_size=192, "
+        "selection=random (stateful: per-point path rebuilds the skeleton "
+        "every replication)\n"
+        f"per-point: {per_point_seconds:.3f} s "
+        f"({per_point_rate:.1f} replications/s)\n"
+        f"batched:   {batched_seconds:.3f} s "
+        f"({batched_rate:.1f} replications/s)\n"
+        f"speedup: {speedup:.1f}x",
     )

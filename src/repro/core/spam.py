@@ -110,6 +110,26 @@ class SpamRouting(RoutingAlgorithm):
         tree = bfs_spanning_tree(network, root)
         return cls(network, tree, selection)
 
+    def with_selection(self, selection: SelectionFunction | None = None) -> "SpamRouting":
+        """A new routing sharing this instance's network, tree, labelling and
+        ancestry, with ``selection`` swapped in.
+
+        ``__init__`` derives the labelling and ancestry purely from
+        ``(network, tree)`` and never consumes selection state, so the
+        skeleton is safe to share between instances: two routings built this
+        way differ only in their selection function.  The batched
+        Monte-Carlo evaluator (:func:`repro.sweeps.spec.evaluate_batch`)
+        uses this to give every replication a freshly seeded stateful
+        selection without re-deriving the skeleton.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone.network = self.network
+        clone.tree = self.tree
+        clone.labeling = self.labeling
+        clone.ancestry = self.ancestry
+        clone.selection = selection or DistanceToTargetSelection(self.network)
+        return clone
+
     # ------------------------------------------------------------------
     # RoutingAlgorithm interface
     # ------------------------------------------------------------------

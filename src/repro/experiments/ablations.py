@@ -84,6 +84,7 @@ def run_buffer_depth_ablation(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    batch_replications: int = 0,
 ) -> list[dict]:
     """Effect of input/output buffer depth on single-multicast latency.
 
@@ -104,7 +105,13 @@ def run_buffer_depth_ablation(
         )
         for depth in depths
     ]
-    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        specs,
+        store=store,
+        workers=workers,
+        resume=resume,
+        batch_replications=batch_replications,
+    )
     return [
         {"buffer_depth": depth, "latency_us": result.mean_us}
         for depth, result in zip(depths, outcome.results)
@@ -117,6 +124,7 @@ def run_selection_ablation(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    batch_replications: int = 0,
 ) -> list[dict]:
     """Effect of the selection function on single-multicast latency."""
     config = config or AblationConfig()
@@ -130,7 +138,13 @@ def run_selection_ablation(
         )
         for index, strategy in enumerate(strategies)
     ]
-    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        specs,
+        store=store,
+        workers=workers,
+        resume=resume,
+        batch_replications=batch_replications,
+    )
     return [
         {"selection": strategy, "latency_us": result.mean_us}
         for strategy, result in zip(strategies, outcome.results)
@@ -143,6 +157,7 @@ def run_root_ablation(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    batch_replications: int = 0,
 ) -> list[dict]:
     """Effect of the spanning-tree root choice on single-multicast latency."""
     config = config or AblationConfig()
@@ -155,7 +170,13 @@ def run_root_ablation(
         )
         for index, strategy in enumerate(strategies)
     ]
-    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        specs,
+        store=store,
+        workers=workers,
+        resume=resume,
+        batch_replications=batch_replications,
+    )
     return [
         {
             "root_strategy": strategy,
@@ -174,6 +195,7 @@ def run_partition_ablation(
     store: ResultStore | None = None,
     workers: int | None = None,
     resume: bool = True,
+    batch_replications: int = 0,
 ) -> list[dict]:
     """The paper's §5 destination-partitioning extension.
 
@@ -200,7 +222,13 @@ def run_partition_ablation(
         )
         for groups in group_counts
     ]
-    outcome = run_sweep(specs, store=store, workers=workers, resume=resume)
+    outcome = run_sweep(
+        specs,
+        store=store,
+        workers=workers,
+        resume=resume,
+        batch_replications=batch_replications,
+    )
     return [
         {
             "groups": result.metric("groups"),

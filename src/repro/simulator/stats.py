@@ -73,6 +73,13 @@ class SimulationStats:
         """Convert a completed message into a :class:`MessageRecord`."""
         if not message.is_complete:
             raise ValueError(f"message {message.mid} is not complete")
+        # "Unset" is None, never 0: a message created at t=0 legitimately
+        # starts up and completes at timestamp 0, and a falsy-or fallback
+        # would silently rewrite those zeros.
+        startup_began_ns = message.startup_began_ns
+        completed_ns = message.completed_ns
+        latency_from_creation_ns = message.latency_from_creation_ns
+        latency_from_startup_ns = message.latency_from_startup_ns
         record = MessageRecord(
             mid=message.mid,
             kind=message.kind.value,
@@ -80,10 +87,16 @@ class SimulationStats:
             num_destinations=message.num_destinations,
             length_flits=message.length_flits,
             created_ns=message.created_ns,
-            startup_began_ns=message.startup_began_ns or message.created_ns,
-            completed_ns=message.completed_ns or 0,
-            latency_from_creation_ns=message.latency_from_creation_ns or 0,
-            latency_from_startup_ns=message.latency_from_startup_ns or 0,
+            startup_began_ns=(
+                message.created_ns if startup_began_ns is None else startup_began_ns
+            ),
+            completed_ns=0 if completed_ns is None else completed_ns,
+            latency_from_creation_ns=(
+                0 if latency_from_creation_ns is None else latency_from_creation_ns
+            ),
+            latency_from_startup_ns=(
+                0 if latency_from_startup_ns is None else latency_from_startup_ns
+            ),
             hops=message.hops,
             metadata=dict(message.metadata),
         )

@@ -16,8 +16,11 @@ runs:
   and tracks completion through per-store ``manifest.json`` files;
 * :mod:`repro.sweeps.scheduler` — :func:`run_sweep`, chunked process-pool
   dispatch with per-point checkpointing, deterministic ordering, a resume
-  path that completes a partially finished sweep from the store, and a
-  ``shard=(index, count)`` restriction for splitting a sweep across hosts.
+  path that completes a partially finished sweep from the store, a
+  ``shard=(index, count)`` restriction for splitting a sweep across hosts,
+  and a ``batch_replications`` mode that groups skeleton-sharing points
+  into :class:`ReplicationBatchSpec` batches (:func:`evaluate_batch`) for
+  replication-heavy statistics.
 
 The experiment drivers in :mod:`repro.experiments` build specs and route
 through :func:`run_sweep`; ``repro-spam sweep`` exposes the same machinery
@@ -28,11 +31,15 @@ resume semantics and the sharding workflow.
 
 from .scheduler import SweepOutcome, resolve_workers, run_sweep
 from .spec import (
+    ReplicationBatchSpec,
     SweepPointResult,
     SweepPointSpec,
     WORKLOAD_KINDS,
     build_network_and_routing,
+    evaluate_batch,
     evaluate_spec,
+    group_replications,
+    iter_evaluate_batch,
     parse_shard,
     run_software_multicast_once,
     shard_specs,
@@ -52,8 +59,12 @@ from .store import (
 __all__ = [
     "SweepPointSpec",
     "SweepPointResult",
+    "ReplicationBatchSpec",
     "WORKLOAD_KINDS",
     "evaluate_spec",
+    "evaluate_batch",
+    "iter_evaluate_batch",
+    "group_replications",
     "spec_from_dict",
     "shard_specs",
     "parse_shard",

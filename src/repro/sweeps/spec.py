@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import lru_cache
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -62,8 +62,12 @@ from ..traffic.workload import mixed_traffic_workload, single_multicast_workload
 __all__ = [
     "SweepPointSpec",
     "SweepPointResult",
+    "ReplicationBatchSpec",
     "WORKLOAD_KINDS",
     "evaluate_spec",
+    "evaluate_batch",
+    "iter_evaluate_batch",
+    "group_replications",
     "build_network_and_routing",
     "run_software_multicast_once",
     "spec_from_dict",
@@ -325,6 +329,14 @@ def _network_and_routing(spec: SweepPointSpec) -> tuple[Network, SpamRouting]:
     )
 
 
+def _context(
+    spec: SweepPointSpec, prebuilt: tuple[Network, SpamRouting] | None
+) -> tuple[Network, SpamRouting]:
+    """The network/routing a point evaluates on: the caller's prebuilt pair
+    (the batched path) or a per-point build (the default path)."""
+    return _network_and_routing(spec) if prebuilt is None else prebuilt
+
+
 def _simulation_config(spec: SweepPointSpec) -> SimulationConfig:
     config = SimulationConfig(message_length_flits=spec.message_length_flits)
     if spec.sim_overrides:
@@ -378,9 +390,11 @@ def _tree_metrics(routing: SpamRouting) -> tuple[tuple[str, object], ...]:
 # Per-kind evaluators
 # ----------------------------------------------------------------------
 def _evaluate_single_multicast(
-    spec: SweepPointSpec, telemetry: Any = None
+    spec: SweepPointSpec,
+    telemetry: Any = None,
+    prebuilt: tuple[Network, SpamRouting] | None = None,
 ) -> SweepPointResult:
-    network, routing = _network_and_routing(spec)
+    network, routing = _context(spec, prebuilt)
     params = spec.params()
     workload = single_multicast_workload(
         network,
@@ -403,8 +417,12 @@ def _evaluate_single_multicast(
     )
 
 
-def _evaluate_mixed(spec: SweepPointSpec, telemetry: Any = None) -> SweepPointResult:
-    network, routing = _network_and_routing(spec)
+def _evaluate_mixed(
+    spec: SweepPointSpec,
+    telemetry: Any = None,
+    prebuilt: tuple[Network, SpamRouting] | None = None,
+) -> SweepPointResult:
+    network, routing = _context(spec, prebuilt)
     params = spec.params()
     rate = float(params["rate_per_us"])
     arrival = str(params.get("arrival", "negative-binomial"))
@@ -477,9 +495,11 @@ def run_software_multicast_once(
 
 
 def _evaluate_software_comparison(
-    spec: SweepPointSpec, telemetry: Any = None
+    spec: SweepPointSpec,
+    telemetry: Any = None,
+    prebuilt: tuple[Network, SpamRouting] | None = None,
 ) -> SweepPointResult:
-    network, spam = _network_and_routing(spec)
+    network, spam = _context(spec, prebuilt)
     params = spec.params()
     config = _simulation_config(spec)
     count = min(int(params["num_destinations"]), network.num_processors - 1)
@@ -514,9 +534,11 @@ def _evaluate_software_comparison(
 
 
 def _evaluate_partitioned_multicast(
-    spec: SweepPointSpec, telemetry: Any = None
+    spec: SweepPointSpec,
+    telemetry: Any = None,
+    prebuilt: tuple[Network, SpamRouting] | None = None,
 ) -> SweepPointResult:
-    network, routing = _network_and_routing(spec)
+    network, routing = _context(spec, prebuilt)
     params = spec.params()
     config = _simulation_config(spec)
     count = min(int(params["num_destinations"]), network.num_processors - 1)
@@ -541,13 +563,24 @@ def _evaluate_partitioned_multicast(
     )
 
 
-#: Registry of workload kinds to their evaluators.
-WORKLOAD_KINDS: dict[str, Callable[[SweepPointSpec, Any], SweepPointResult]] = {
+#: Registry of workload kinds to their evaluators.  Every evaluator takes
+#: ``(spec, telemetry, prebuilt)`` where ``prebuilt`` is an optional
+#: ``(network, routing)`` pair supplied by the batched evaluation path.
+WORKLOAD_KINDS: dict[str, Callable[..., SweepPointResult]] = {
     "single-multicast": _evaluate_single_multicast,
     "mixed": _evaluate_mixed,
     "software-comparison": _evaluate_software_comparison,
     "partitioned-multicast": _evaluate_partitioned_multicast,
 }
+
+
+def _evaluator_for(kind: str) -> Callable[..., SweepPointResult]:
+    evaluator = WORKLOAD_KINDS.get(kind)
+    if evaluator is None:
+        raise ValueError(
+            f"unknown workload kind {kind!r} (known: {sorted(WORKLOAD_KINDS)})"
+        )
+    return evaluator
 
 
 def evaluate_spec(spec: SweepPointSpec, telemetry: Any = None) -> SweepPointResult:
@@ -557,10 +590,125 @@ def evaluate_spec(spec: SweepPointSpec, telemetry: Any = None) -> SweepPointResu
     point's engine(s); it never participates in spec identity, caching or
     the returned result.
     """
-    evaluator = WORKLOAD_KINDS.get(spec.workload_kind)
-    if evaluator is None:
-        raise ValueError(
-            f"unknown workload kind {spec.workload_kind!r} "
-            f"(known: {sorted(WORKLOAD_KINDS)})"
+    return _evaluator_for(spec.workload_kind)(spec, telemetry)
+
+
+# ----------------------------------------------------------------------
+# Batched Monte-Carlo evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicationBatchSpec:
+    """A group of sweep points sharing one network / spanning-tree skeleton.
+
+    The grouping key is ``(network_size, topology_seed, root_strategy)``:
+    those three fields fully determine the irregular network, the BFS
+    spanning tree, the channel labelling and the ancestry relation (the
+    selection function plays no part in any of them — see
+    :meth:`~repro.core.spam.SpamRouting.with_selection`).  Everything else a
+    replication varies — workload kind and parameters, seeds, selection,
+    simulator overrides — stays per-spec, so a batch amortises exactly the
+    state that is provably shared and nothing more.
+    """
+
+    network_size: int
+    topology_seed: int
+    root_strategy: str
+    specs: tuple[SweepPointSpec, ...]
+
+    def describe(self) -> str:
+        """One-line human-readable identification (used in error messages)."""
+        return (
+            f"{len(self.specs)}-replication batch on {self.network_size} "
+            f"switches (topology seed {self.topology_seed}, "
+            f"root {self.root_strategy!r})"
         )
-    return evaluator(spec, telemetry)
+
+
+def group_replications(
+    specs: Sequence[SweepPointSpec], max_batch_size: int = 0
+) -> list[ReplicationBatchSpec]:
+    """Partition ``specs`` into replication batches sharing a skeleton.
+
+    Groups are keyed by ``(network_size, topology_seed, root_strategy)`` in
+    first-appearance order, with input order preserved inside each group;
+    ``max_batch_size > 0`` additionally splits each group into batches of at
+    most that many specs (bounding both a pool task's size and how much work
+    sits unfinished between checkpoints).  The batches are a **partition**
+    of the input: every spec lands in exactly one batch, multiplicity
+    included, and no batch is empty.
+    """
+    groups: dict[tuple[int, int, str], list[SweepPointSpec]] = {}
+    for spec in specs:
+        key = (spec.network_size, spec.topology_seed, spec.root_strategy)
+        groups.setdefault(key, []).append(spec)
+    batches: list[ReplicationBatchSpec] = []
+    for (size, seed, root), members in groups.items():
+        step = len(members) if max_batch_size <= 0 else int(max_batch_size)
+        for start in range(0, len(members), step):
+            batches.append(
+                ReplicationBatchSpec(size, seed, root, tuple(members[start : start + step]))
+            )
+    return batches
+
+
+def iter_evaluate_batch(
+    batch: ReplicationBatchSpec, telemetry: Any = None
+) -> Iterator[SweepPointResult]:
+    """Evaluate ``batch`` lazily, one :class:`SweepPointResult` per spec.
+
+    The network and the SPAM skeleton (tree, labelling, ancestry) are built
+    once and shared by every replication; each replication then gets exactly
+    the selection function the per-point path would have built — stateless
+    selections are reused within the batch (mirroring the per-point
+    ``lru_cache``), stateful ones (e.g. ``"random"``) are constructed fresh
+    from their seed so no replication sees another's RNG state.  Because the
+    shared objects are pure functions of the batch key and the evaluators
+    only read them, every yielded result is bit-identical to
+    ``evaluate_spec(spec)``.
+
+    Laziness is the checkpointing hook: the scheduler times and records each
+    replication as it is produced (the first one absorbs the shared
+    construction cost), and a failure mid-batch leaves the earlier results
+    already yielded.
+    """
+    network = lattice_irregular_network(batch.network_size, seed=batch.topology_seed)
+    skeleton: SpamRouting | None = None
+    stateless_cache: dict[tuple[str, int], SpamRouting] = {}
+    for spec in batch.specs:
+        if (
+            spec.network_size != batch.network_size
+            or spec.topology_seed != batch.topology_seed
+            or spec.root_strategy != batch.root_strategy
+        ):
+            raise ValueError(
+                f"spec does not belong to this batch: {spec.describe()} "
+                f"vs {batch.describe()}"
+            )
+        evaluator = _evaluator_for(spec.workload_kind)
+        seed = batch.topology_seed if spec.selection_seed is None else spec.selection_seed
+        selection_class = SELECTION_CLASSES.get(spec.selection)
+        stateless = selection_class is not None and selection_class.stateless
+        routing = stateless_cache.get((spec.selection, seed)) if stateless else None
+        if routing is None:
+            selection = make_selection(spec.selection, network, seed=seed)
+            if skeleton is None:
+                skeleton = SpamRouting.build(
+                    network, root_strategy=batch.root_strategy, selection=selection
+                )
+                routing = skeleton
+            else:
+                routing = skeleton.with_selection(selection)
+            if stateless:
+                stateless_cache[(spec.selection, seed)] = routing
+        yield evaluator(spec, telemetry, (network, routing))
+
+
+def evaluate_batch(
+    batch: ReplicationBatchSpec, telemetry: Any = None
+) -> list[SweepPointResult]:
+    """Run a whole replication batch to completion, in spec order.
+
+    See :func:`iter_evaluate_batch` for the sharing and bit-identity
+    contract; ``telemetry`` is forwarded to every replication's engine.
+    """
+    return list(iter_evaluate_batch(batch, telemetry))

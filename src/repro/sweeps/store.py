@@ -287,11 +287,9 @@ class ResultStore:
             metrics=tuple((k, v) for k, v in row.get("metrics", ())),
         )
 
-    def put(self, result: SweepPointResult) -> str:
-        """Append ``result`` (checkpoint) and return its key."""
-        key = self.key(result.spec)
-        row = {
-            "key": key,
+    def _row(self, result: SweepPointResult) -> dict:
+        return {
+            "key": self.key(result.spec),
             "salt": self.code_salt,
             "spec": result.spec.as_dict(),
             "latencies_us": list(result.latencies_us),
@@ -300,7 +298,23 @@ class ResultStore:
             # sorting must not scramble it.
             "metrics": [[k, v] for k, v in result.metrics],
         }
-        return self.append_row(row)
+
+    def put(self, result: SweepPointResult) -> str:
+        """Append ``result`` (checkpoint) and return its key."""
+        return self.put_many([result])[0]
+
+    def put_many(self, results: Sequence[SweepPointResult]) -> list[str]:
+        """Append ``results`` under one file handle; returns their keys.
+
+        The batched scheduler checkpoints a whole replication batch with one
+        call so the open/append/close round-trip is paid per batch, not per
+        replication.  Each result still lands under its own content-addressed
+        spec key — warm-cache lookups and merges cannot tell (and do not
+        care) whether a row was written singly or as part of a batch.
+        """
+        rows = [self._row(result) for result in results]
+        self.append_rows(rows)
+        return [str(row["key"]) for row in rows]
 
     def append_row(self, row: dict) -> str:
         """Append a raw store row (last row wins on lookup); returns its key.

@@ -1,0 +1,265 @@
+"""Tests for the batched Monte-Carlo replication backend.
+
+The batched path's whole value rests on one contract: every replication's
+:class:`~repro.sweeps.spec.SweepPointResult` is **bit-identical** to the
+one-task-per-point path, while the network / spanning tree / labelling /
+ancestry are built once per batch instead of once per replication.  These
+tests pin that contract:
+
+* batched-vs-per-point differential over every ``workload_kind``, including
+  the stateful ``"random"`` selection (whose RNG must be freshly seeded per
+  replication, never shared);
+* the same differential through :func:`run_sweep` — sequential and over a
+  real process pool — with per-replication checkpointing into the store;
+* cache/resume interaction: a half-stored batch computes exactly the
+  missing half;
+* a hypothesis property that :func:`group_replications` is a partition of
+  the input specs (every spec in exactly one batch, multiplicity included,
+  batch-size bound respected, skeleton key uniform within a batch);
+* failure semantics: a mid-batch error still checkpoints the replications
+  that completed before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ZeroDeliveryError
+from repro.sweeps import (
+    ReplicationBatchSpec,
+    ResultStore,
+    SweepPointSpec,
+    evaluate_batch,
+    evaluate_spec,
+    group_replications,
+    iter_evaluate_batch,
+    run_sweep,
+)
+
+
+def _spec(kind: str, params, *, topology_seed=3, network_size=16, **kwargs):
+    defaults = dict(
+        workload_kind=kind,
+        network_size=network_size,
+        topology_seed=topology_seed,
+        message_length_flits=16,
+        workload_params=tuple(params),
+        workload_seed=5,
+        x=1.0,
+    )
+    defaults.update(kwargs)
+    return SweepPointSpec(**defaults)
+
+
+#: One representative spec per workload kind, all sharing a skeleton.
+KIND_SPECS = [
+    _spec("single-multicast", (("num_destinations", 4), ("samples", 2))),
+    _spec(
+        "mixed",
+        (
+            ("rate_per_us", 0.01),
+            ("multicast_destinations", 4),
+            ("num_messages", 6),
+            ("multicast_fraction", 0.25),
+            ("arrival", "poisson"),
+        ),
+    ),
+    _spec(
+        "software-comparison",
+        (("num_destinations", 4), ("samples", 2), ("execute_software", 1)),
+    ),
+    _spec("partitioned-multicast", (("num_destinations", 8), ("groups", 2))),
+]
+
+#: Stateful-selection replications: same skeleton, per-replication RNG seeds.
+RANDOM_SPECS = [
+    _spec(
+        "single-multicast",
+        (("num_destinations", 4), ("samples", 1)),
+        workload_seed=10 + i,
+        selection="random",
+        selection_seed=i,
+        x=float(i),
+    )
+    for i in range(4)
+]
+
+
+class TestBatchedDifferential:
+    def test_bit_identical_across_all_workload_kinds(self):
+        specs = KIND_SPECS + RANDOM_SPECS
+        batches = group_replications(specs)
+        assert len(batches) == 1  # one shared skeleton
+        batched = evaluate_batch(batches[0])
+        per_point = [evaluate_spec(spec) for spec in specs]
+        assert batched == per_point
+
+    def test_stateless_selection_routing_reused_within_batch(self):
+        """Replications on a stateless selection share one routing object —
+        the in-batch analogue of the per-point lru cache."""
+        specs = [replace(KIND_SPECS[0], workload_seed=seed) for seed in (5, 6)]
+        batch = group_replications(specs)[0]
+        results = evaluate_batch(batch)
+        assert results == [evaluate_spec(spec) for spec in specs]
+
+    def test_random_selection_not_contaminated_by_batch_neighbours(self):
+        """A stateful selection's RNG must not leak between replications:
+        evaluating a spec alone and inside a batch gives identical results."""
+        alone = [evaluate_spec(spec) for spec in RANDOM_SPECS]
+        batch = group_replications(RANDOM_SPECS)[0]
+        assert evaluate_batch(batch) == alone
+        # Order independence too: reversed batch, same per-spec results.
+        reversed_batch = group_replications(list(reversed(RANDOM_SPECS)))[0]
+        assert evaluate_batch(reversed_batch) == list(reversed(alone))
+
+    def test_foreign_spec_rejected(self):
+        batch = group_replications([KIND_SPECS[0]])[0]
+        foreign = replace(KIND_SPECS[1], topology_seed=4)
+        bad = ReplicationBatchSpec(
+            batch.network_size,
+            batch.topology_seed,
+            batch.root_strategy,
+            (foreign,),
+        )
+        with pytest.raises(ValueError, match="does not belong"):
+            list(iter_evaluate_batch(bad))
+
+
+class TestBatchedRunSweep:
+    def test_sequential_batched_matches_unbatched(self, tmp_path):
+        specs = KIND_SPECS + RANDOM_SPECS
+        base = run_sweep(specs, store=ResultStore(tmp_path / "a"))
+        batched = run_sweep(
+            specs, store=ResultStore(tmp_path / "b"), batch_replications=8
+        )
+        assert batched.results == base.results
+        assert (batched.cache_hits, batched.computed) == (0, len(specs))
+        # Every replication landed under its own spec key.
+        reopened = ResultStore(tmp_path / "b")
+        assert all(spec in reopened for spec in specs)
+
+    @pytest.mark.slow
+    def test_pool_batched_matches_unbatched(self, tmp_path):
+        specs = KIND_SPECS + RANDOM_SPECS
+        base = run_sweep(specs, store=None)
+        pooled = run_sweep(
+            specs,
+            store=ResultStore(tmp_path / "cache"),
+            workers=2,
+            batch_replications=3,
+        )
+        assert pooled.results == base.results
+        assert all(spec in ResultStore(tmp_path / "cache") for spec in specs)
+
+    def test_resume_half_stored_batch(self, tmp_path):
+        """Warm-cache semantics are unchanged by batching: a half-stored
+        batch computes exactly the missing half and returns the same rows."""
+        specs = KIND_SPECS + RANDOM_SPECS
+        base = run_sweep(specs, store=ResultStore(tmp_path / "full"))
+        half = len(specs) // 2
+        store = ResultStore(tmp_path / "half")
+        store.put_many(base.results[:half])
+        store.flush_index()
+        resumed = run_sweep(
+            specs, store=ResultStore(tmp_path / "half"), batch_replications=8
+        )
+        assert (resumed.cache_hits, resumed.computed) == (half, len(specs) - half)
+        assert resumed.results == base.results
+
+    def test_mid_batch_failure_checkpoints_earlier_replications(
+        self, tmp_path, monkeypatch
+    ):
+        """Sequential batched run: replications evaluated before a mid-batch
+        failure are already in the store when the error surfaces."""
+        import repro.sweeps.spec as spec_module
+
+        real_run_latencies = spec_module._run_latencies
+
+        def poisoned(network, routing, workload, config, from_creation, telemetry=None):
+            if workload.seed == 99:
+                return []
+            return real_run_latencies(
+                network, routing, workload, config, from_creation, telemetry
+            )
+
+        monkeypatch.setattr(spec_module, "_run_latencies", poisoned)
+        good = KIND_SPECS[0]
+        bad = replace(good, workload_seed=99)
+        store = ResultStore(tmp_path / "cache")
+        with pytest.raises(ZeroDeliveryError):
+            run_sweep([good, bad], store=store, batch_replications=2)
+        assert ResultStore(tmp_path / "cache").get(good) is not None
+
+    def test_batched_telemetry_tracks(self, tmp_path):
+        """Pool-batched telemetry lands under ``batch{i}`` tracks with one
+        per-replication evaluate span each."""
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(track="test")
+        run_sweep(
+            RANDOM_SPECS, store=None, workers=2, batch_replications=2,
+            telemetry=telemetry,
+        )
+        payload = telemetry.to_payload()
+        tracks = {span["track"] for span in payload["spans"]}
+        assert any(track.startswith("batch0") for track in tracks)
+        evaluate_spans = [
+            span for span in payload["spans"]
+            if span["name"] == "sweep.point.evaluate"
+        ]
+        assert len(evaluate_spans) == len(RANDOM_SPECS)
+
+
+_key_strategy = st.tuples(
+    st.integers(min_value=8, max_value=10),  # network_size (never simulated)
+    st.integers(min_value=0, max_value=3),  # topology_seed
+    st.sampled_from(["center", "max-degree"]),  # root_strategy
+)
+
+
+@st.composite
+def _spec_lists(draw):
+    keys = draw(st.lists(_key_strategy, min_size=0, max_size=12))
+    return [
+        _spec(
+            "single-multicast",
+            (("num_destinations", 2), ("samples", 1)),
+            network_size=size,
+            topology_seed=seed,
+            root_strategy=root,
+            workload_seed=index,
+        )
+        for index, (size, seed, root) in enumerate(keys)
+    ]
+
+
+class TestGroupingPartitionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=_spec_lists(), max_batch_size=st.integers(min_value=0, max_value=5))
+    def test_grouping_is_a_partition(self, specs, max_batch_size):
+        batches = group_replications(specs, max_batch_size=max_batch_size)
+        # Every spec lands in exactly one batch (multiplicity included).
+        scattered = [spec for batch in batches for spec in batch.specs]
+        assert sorted(scattered, key=repr) == sorted(specs, key=repr)
+        for batch in batches:
+            assert batch.specs  # no empty batches
+            if max_batch_size > 0:
+                assert len(batch.specs) <= max_batch_size
+            # Uniform skeleton key within a batch, and it matches the batch's.
+            for spec in batch.specs:
+                assert (
+                    spec.network_size,
+                    spec.topology_seed,
+                    spec.root_strategy,
+                ) == (batch.network_size, batch.topology_seed, batch.root_strategy)
+
+    def test_order_preserved_within_groups(self):
+        specs = [
+            replace(KIND_SPECS[0], workload_seed=seed) for seed in (9, 7, 8)
+        ]
+        (batch,) = group_replications(specs)
+        assert [spec.workload_seed for spec in batch.specs] == [9, 7, 8]

@@ -358,3 +358,41 @@ class TestMessage:
         message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=0)
         assert message.latency_from_creation_ns is None
         assert message.latency_from_startup_ns is None
+
+
+class TestStatsZeroTimestamps:
+    def test_record_message_completing_at_t0(self):
+        """A message created, started and completed at t=0 records an
+        all-zero timeline — 0 is a real timestamp, not "unset"."""
+        from repro.simulator.stats import SimulationStats
+
+        message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=0)
+        message.startup_began_ns = 0
+        assert message.record_delivery(1, 0) is True
+        record = SimulationStats().record_message(message)
+        assert record.startup_began_ns == 0
+        assert record.completed_ns == 0
+        assert record.latency_from_creation_ns == 0
+        assert record.latency_from_startup_ns == 0
+
+    def test_record_message_never_rewrites_a_zero_startup(self):
+        """Regression: the falsy-`or` fallback rewrote ``startup_began_ns=0``
+        to ``created_ns`` — a recorded timestamp must be reported verbatim;
+        only ``None`` means "unset" and falls back."""
+        from repro.simulator.stats import SimulationStats
+
+        message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=4)
+        message.startup_began_ns = 0
+        message.record_delivery(1, 8)
+        record = SimulationStats().record_message(message)
+        assert record.startup_began_ns == 0  # the old code reported 4 here
+        assert record.latency_from_startup_ns == 8
+
+    def test_record_message_falls_back_only_on_none(self):
+        from repro.simulator.stats import SimulationStats
+
+        message = Message(0, source=0, destinations=[1], length_flits=4, created_ns=4)
+        message.record_delivery(1, 10)  # startup_began_ns stays None
+        record = SimulationStats().record_message(message)
+        assert record.startup_began_ns == 4  # created_ns fallback
+        assert record.completed_ns == 10
