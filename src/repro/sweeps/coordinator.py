@@ -1,0 +1,819 @@
+"""Sweep coordinator: a long-lived service that owns a spec universe.
+
+PR 4 made multi-host sweeps possible but manual: every host runs its shard,
+an operator copies the per-shard stores around and runs ``sweep merge``.
+This module closes the loop with a *coordinator* — one process that owns
+the full spec universe, hands out **shard leases** to workers, watches the
+rows they return, **re-queues owed points** when a worker dies or returns
+rows under a foreign code salt, and serves results from the continuously
+merged store.  The store's content-addressed hashing contract is what makes
+this safe: a row is valid iff its key matches ``spec_key(spec, salt)``, so
+duplicate submissions, late submissions from expired leases and overlapping
+recoveries all collapse to idempotent appends — the coordinator can be
+maximally forgiving about *who* computed a point without ever risking
+result fidelity.
+
+Layers (each usable on its own):
+
+:class:`CoordinatorState`
+    The deterministic state machine.  Pure bookkeeping over spec keys: every
+    transition (``grant`` / ``renew`` / ``expire_overdue`` / ``ingest``)
+    takes an explicit ``now`` and returns a JSON-serialisable event record.
+    No I/O, no clock, no store — property tests drive it directly with
+    arbitrary interleavings.
+
+:class:`Coordinator`
+    The service core: wraps a :class:`CoordinatorState` around a
+    :class:`~repro.sweeps.store.ResultStore` (the continuously merged
+    store), persists every transition to a crash-safe append-only
+    **journal** (``coordinator.journal`` in the store root), emits
+    ``repro.obs`` spans/counters under a ``coordinator`` track, and
+    serialises access behind one lock.  A restarted coordinator replays the
+    journal: completed points are recovered from the store (authoritative),
+    leases that were open at the crash are expired and their points
+    re-queued — deadlines are relative to the process-local monotonic
+    clock, so they cannot meaningfully survive a restart.
+
+:class:`CoordinatorServer`
+    A thin JSON-over-HTTP front end (stdlib :mod:`http.server`, threading)
+    — ``POST /api/lease | renew | submit``, ``GET /api/status``,
+    ``POST /api/shutdown``.  The CLI (``repro-spam sweep serve | lease |
+    submit | status | work``) and :mod:`repro.sweeps.worker` speak this
+    protocol; see ``docs/sweeps.md`` ("Fleet coordination").
+
+Lease protocol
+--------------
+A lease is ``(lease id, worker id, spec keys, deadline)``.  Keys are owed
+to exactly one active lease at a time (never double-granted); a worker must
+submit the lease's rows — or renew — before the deadline, otherwise the
+lease expires and its unfinished keys return to the queue.  Submissions are
+judged row by row: salt-mismatched rows are rejected (and their points stay
+owed), unknown keys are ignored, valid rows are appended to the store even
+when the lease has already expired (idempotence makes late work free).  A
+partial submission completes what it brought and immediately re-queues the
+lease's remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import SweepError
+from ..obs import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .spec import SweepPointSpec
+from .store import ResultStore
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorServer",
+    "CoordinatorState",
+    "CoordinatorStatus",
+    "IngestReport",
+    "Lease",
+    "LeaseError",
+    "JOURNAL_NAME",
+]
+
+#: Journal file name inside the coordinator store root.
+JOURNAL_NAME = "coordinator.journal"
+
+#: Bump when the journal event layout changes meaning.
+_JOURNAL_SCHEMA = 1
+
+
+class LeaseError(SweepError):
+    """An operation referenced a lease the coordinator does not hold
+    (unknown id, already expired, or already closed by a submission)."""
+
+
+def _monotonic_seconds() -> float:
+    """Process-local monotonic clock for lease deadlines."""
+    return time.monotonic()  # repro-lint: disable=R4 -- lease deadlines are coordinator scheduling state, never simulation observables; every result row stays content-addressed by spec + salt
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One outstanding grant: ``keys`` are owed to ``worker`` until
+    ``deadline`` (coordinator-clock seconds)."""
+
+    lease_id: int
+    worker: str
+    keys: tuple[str, ...]
+    deadline: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.lease_id,
+            "worker": self.worker,
+            "keys": list(self.keys),
+            "deadline": self.deadline,
+        }
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one submission did, row by row."""
+
+    #: Rows appended to the store (salt matched, key in the universe —
+    #: includes re-submissions of already-done keys, which the store dedups).
+    accepted: int
+    #: Rows rejected for a foreign code salt; their points stay owed.
+    foreign_salt: int
+    #: Rows whose key is not in the universe (or rows missing key/salt).
+    unknown: int
+    #: Accepted rows whose key was already done (idempotent re-submission).
+    duplicates: int
+    #: Keys this submission newly completed.
+    completed: tuple[str, ...]
+    #: Lease keys left unfinished and returned to the queue.
+    requeued: tuple[str, ...]
+    #: ``False`` when the submission named a lease the coordinator no longer
+    #: holds (expired / already closed) — its valid rows were ingested anyway.
+    lease_known: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "foreign_salt": self.foreign_salt,
+            "unknown": self.unknown,
+            "duplicates": self.duplicates,
+            "completed": list(self.completed),
+            "requeued": list(self.requeued),
+            "lease_known": self.lease_known,
+        }
+
+
+@dataclass(frozen=True)
+class CoordinatorStatus:
+    """Point and lease accounting at one instant."""
+
+    total: int
+    done: int
+    leased: int
+    queued: int
+    active_leases: tuple[Lease, ...]
+    counters: tuple[tuple[str, int], ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "leased": self.leased,
+            "queued": self.queued,
+            "complete": self.complete,
+            "leases": [lease.as_dict() for lease in self.active_leases],
+            "counters": dict(self.counters),
+        }
+
+    def describe(self) -> str:
+        """One-line accounting string for CLI/log output."""
+        return (
+            f"{self.done}/{self.total} points done, "
+            f"{self.leased} leased, {self.queued} queued"
+            + (", complete" if self.complete else "")
+        )
+
+
+_COUNTER_NAMES = (
+    "leases_granted",
+    "leases_renewed",
+    "leases_expired",
+    "points_completed",
+    "points_requeued",
+    "rows_accepted",
+    "rows_foreign_salt",
+    "rows_unknown",
+    "rows_duplicate",
+)
+
+
+class CoordinatorState:
+    """Deterministic lease bookkeeping over a spec-key universe.
+
+    Pure state machine: no clock (every transition takes ``now``), no store,
+    no I/O.  Each mutating method returns the JSON-serialisable **event
+    record** the owning :class:`Coordinator` journals, so replaying a
+    journal through the same methods reproduces the state exactly.
+
+    Invariants (asserted by the property tests):
+
+    * ``done ∪ owed == universe`` and ``done ∩ owed == ∅``;
+    * every leased key is owed, and owed to exactly **one** active lease;
+    * the queue is the owed-minus-leased keys in universe order.
+    """
+
+    def __init__(self, keys: Sequence[str], salt: str):
+        self.salt = salt
+        # Ordered dedup; dicts keep insertion order deterministically.
+        self._universe: dict[str, None] = {str(key): None for key in keys}
+        self._owed: dict[str, None] = dict(self._universe)
+        self._leased: dict[str, int] = {}
+        self._leases: dict[int, Lease] = {}
+        self._next_lease_id = 1
+        self.counters: dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+
+    # -- views ----------------------------------------------------------
+    @property
+    def universe(self) -> tuple[str, ...]:
+        return tuple(self._universe)
+
+    def queued_keys(self) -> list[str]:
+        """Owed keys not covered by an active lease, in universe order."""
+        return [key for key in self._universe if key in self._owed and key not in self._leased]
+
+    def active_leases(self) -> tuple[Lease, ...]:
+        return tuple(self._leases[lease_id] for lease_id in sorted(self._leases))
+
+    def lease(self, lease_id: int) -> Lease | None:
+        return self._leases.get(lease_id)
+
+    def is_done(self, key: str) -> bool:
+        return key in self._universe and key not in self._owed
+
+    def status(self) -> CoordinatorStatus:
+        return CoordinatorStatus(
+            total=len(self._universe),
+            done=len(self._universe) - len(self._owed),
+            leased=len(self._leased),
+            queued=len(self._owed) - len(self._leased),
+            active_leases=self.active_leases(),
+            counters=tuple(sorted(self.counters.items())),
+        )
+
+    @property
+    def complete(self) -> bool:
+        return not self._owed
+
+    # -- transitions ----------------------------------------------------
+    def mark_done(self, keys: Sequence[str]) -> list[str]:
+        """Record ``keys`` as already computed (store sync at startup; not a
+        journaled transition — the store is the authority on done-ness).
+        Returns the keys that were newly completed."""
+        completed: list[str] = []
+        for key in keys:
+            if key in self._owed:
+                del self._owed[key]
+                lease_id = self._leased.pop(key, None)
+                if lease_id is not None:
+                    lease = self._leases[lease_id]
+                    remaining = tuple(k for k in lease.keys if k != key)
+                    if remaining:
+                        self._leases[lease_id] = replace(lease, keys=remaining)
+                    else:
+                        del self._leases[lease_id]
+                completed.append(key)
+        return completed
+
+    def grant(
+        self, worker: str, now: float, ttl: float, max_points: int
+    ) -> tuple[Lease | None, dict[str, Any] | None]:
+        """Lease up to ``max_points`` queued keys to ``worker``.
+
+        Returns ``(lease, event)``; ``(None, None)`` when nothing is
+        grantable — either the sweep is complete or every owed point is
+        covered by an active lease (the caller should retry after the next
+        expiry).  Callers are expected to run :meth:`expire_overdue` first.
+        """
+        if max_points < 1:
+            raise ValueError(f"max_points must be >= 1, got {max_points}")
+        queued = self.queued_keys()
+        if not queued:
+            return None, None
+        keys = tuple(queued[:max_points])
+        lease = Lease(
+            lease_id=self._next_lease_id,
+            worker=str(worker),
+            keys=keys,
+            deadline=now + ttl,
+        )
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        for key in keys:
+            self._leased[key] = lease.lease_id
+        self.counters["leases_granted"] += 1
+        event = {
+            "event": "grant",
+            "lease": lease.lease_id,
+            "worker": lease.worker,
+            "keys": list(keys),
+            "deadline": lease.deadline,
+        }
+        return lease, event
+
+    def renew(self, lease_id: int, now: float, ttl: float) -> tuple[Lease, dict[str, Any]]:
+        """Extend ``lease_id``'s deadline to ``now + ttl``."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise LeaseError(
+                f"lease {lease_id} is not active (expired, completed or never "
+                f"granted); request a fresh lease"
+            )
+        renewed = replace(lease, deadline=now + ttl)
+        self._leases[lease_id] = renewed
+        self.counters["leases_renewed"] += 1
+        return renewed, {"event": "renew", "lease": lease_id, "deadline": renewed.deadline}
+
+    def expire_overdue(self, now: float) -> list[dict[str, Any]]:
+        """Expire every lease whose deadline has passed; their unfinished
+        keys return to the queue.  Returns one event per expired lease."""
+        events: list[dict[str, Any]] = []
+        for lease_id in sorted(self._leases):
+            lease = self._leases[lease_id]
+            if lease.deadline > now:
+                continue
+            del self._leases[lease_id]
+            requeued: list[str] = []
+            for key in lease.keys:
+                if self._leased.get(key) == lease_id:
+                    del self._leased[key]
+                    requeued.append(key)
+            self.counters["leases_expired"] += 1
+            self.counters["points_requeued"] += len(requeued)
+            events.append({"event": "expire", "lease": lease_id, "requeued": requeued})
+        return events
+
+    def ingest(
+        self, lease_id: int | None, rows: Sequence[Mapping[str, Any]]
+    ) -> tuple[IngestReport, list[dict], dict[str, Any]]:
+        """Judge submitted store rows; close ``lease_id`` if it is active.
+
+        Returns ``(report, rows_to_append, event)`` — the caller appends
+        ``rows_to_append`` to the merged store (the state machine itself
+        never touches storage).  Valid rows are ingested even when the lease
+        is unknown (a worker that outlived its lease still contributes; the
+        content-addressed store makes the append idempotent).  Rows under a
+        foreign salt or an unknown key are dropped and counted; their points
+        stay owed.  After row processing the lease's unfinished keys are
+        re-queued immediately — a partial submission does not wait for the
+        deadline.
+        """
+        accepted: list[dict] = []
+        foreign = unknown = duplicates = 0
+        completed: list[str] = []
+        for row in rows:
+            if not isinstance(row, Mapping):
+                unknown += 1
+                continue
+            key = row.get("key")
+            salt = row.get("salt")
+            if not isinstance(key, str) or key not in self._universe:
+                unknown += 1
+                continue
+            if salt != self.salt:
+                foreign += 1
+                continue
+            accepted.append(dict(row))
+            if key in self._owed:
+                del self._owed[key]
+                lease_of_key = self._leased.pop(key, None)
+                if lease_of_key is not None and lease_of_key != lease_id:
+                    # Another worker's lease covered this key; shrink it so
+                    # the eventual expiry/submit does not re-queue a point
+                    # that is already done.
+                    other = self._leases[lease_of_key]
+                    remaining = tuple(k for k in other.keys if k != key)
+                    if remaining:
+                        self._leases[lease_of_key] = replace(other, keys=remaining)
+                    else:
+                        del self._leases[lease_of_key]
+                completed.append(key)
+            else:
+                duplicates += 1
+        requeued: list[str] = []
+        lease_known = False
+        if lease_id is not None:
+            lease = self._leases.pop(int(lease_id), None)
+            if lease is not None:
+                lease_known = True
+                for key in lease.keys:
+                    if self._leased.get(key) == lease.lease_id:
+                        del self._leased[key]
+                        if key in self._owed:
+                            requeued.append(key)
+        self.counters["rows_accepted"] += len(accepted)
+        self.counters["rows_foreign_salt"] += foreign
+        self.counters["rows_unknown"] += unknown
+        self.counters["rows_duplicate"] += duplicates
+        self.counters["points_completed"] += len(completed)
+        self.counters["points_requeued"] += len(requeued)
+        report = IngestReport(
+            accepted=len(accepted),
+            foreign_salt=foreign,
+            unknown=unknown,
+            duplicates=duplicates,
+            completed=tuple(completed),
+            requeued=tuple(requeued),
+            lease_known=lease_known,
+        )
+        event = {
+            "event": "ingest",
+            "lease": None if lease_id is None else int(lease_id),
+            "accepted": len(accepted),
+            "foreign_salt": foreign,
+            "unknown": unknown,
+            "duplicates": duplicates,
+            "completed": completed,
+            "requeued": requeued,
+            "lease_known": lease_known,
+        }
+        return report, accepted, event
+
+
+class Coordinator:
+    """The coordinator service core: state machine + store + journal + obs.
+
+    Parameters
+    ----------
+    specs:
+        The spec universe this coordinator owns.  Keys are computed under
+        ``store``'s code salt and recorded in the store's ``manifest.json``
+        (the same plumbing a sharded ``run_sweep`` uses), so
+        ``ResultStore.manifest_status`` and ``sweep merge`` agree with the
+        coordinator about what is owed.
+    store:
+        The continuously merged result store.  Rows already present count
+        as done immediately (a coordinator pointed at a warm store serves
+        it without re-computing anything).
+    lease_ttl:
+        Seconds a worker has to submit (or renew) before its lease expires.
+    lease_points:
+        Maximum spec keys per lease (workers may ask for fewer).
+    clock:
+        Injectable monotonic clock (seconds).  Defaults to the process
+        monotonic clock; tests inject a fake to drive expiry
+        deterministically.
+    telemetry:
+        Optional ``repro.obs`` recorder; transitions emit spans and
+        counters under the ``coordinator.*`` prefix.
+    journal:
+        Journal path override (default ``<store root>/coordinator.journal``).
+        An existing journal is replayed on construction: open leases are
+        expired and re-queued, counters resume.  The journal is always on —
+        it is the crash-safety contract.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SweepPointSpec],
+        store: ResultStore,
+        lease_ttl: float = 60.0,
+        lease_points: int = 8,
+        clock: Callable[[], float] | None = None,
+        telemetry: Telemetry | NullTelemetry | None = None,
+        journal: str | Path | None = None,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if lease_points < 1:
+            raise ValueError(f"lease_points must be >= 1, got {lease_points}")
+        self.store = store
+        self.lease_ttl = float(lease_ttl)
+        self.lease_points = int(lease_points)
+        self.clock: Callable[[], float] = clock if clock is not None else _monotonic_seconds
+        self.telemetry: Telemetry | NullTelemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.journal_path = (
+            Path(journal) if journal is not None else store.root / JOURNAL_NAME
+        )
+        self._lock = threading.RLock()
+
+        specs = list(specs)
+        keys = [store.key(spec) for spec in specs]
+        self.specs_by_key: dict[str, SweepPointSpec] = dict(zip(keys, specs))
+        self.state = CoordinatorState(keys, store.code_salt)
+        # The manifest makes the coordinator's universe visible to the rest
+        # of the sweep tooling (sweep merge, manifest_status).
+        store.record_expected(specs)
+        self._replay_journal()
+        self._sync_done_from_store()
+        self._journal(
+            {
+                "event": "open",
+                "schema": _JOURNAL_SCHEMA,
+                "salt": store.code_salt,
+                "universe": len(self.specs_by_key),
+                "done": self.state.status().done,
+            }
+        )
+
+    # -- journal --------------------------------------------------------
+    def _journal(self, event: dict[str, Any]) -> None:
+        """Append one event; the journal is append-only JSON Lines with the
+        store's crash contract (a torn tail is dropped on replay)."""
+        self.store.root.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n")
+            handle.flush()
+
+    def _replay_journal(self) -> None:
+        """Rebuild lease-id continuity and counters from a prior session.
+
+        Done-ness is *not* replayed — the store is authoritative and is
+        synced separately — but grants/ingests/expiries restore the
+        counters, and any lease that was open when the previous process
+        died is expired here (its deadline was on a dead process's clock).
+        """
+        events = self._read_journal_events()
+        if not events:
+            return
+        open_leases: dict[int, dict[str, Any]] = {}
+        max_lease_id = 0
+        counters = {name: 0 for name in _COUNTER_NAMES}
+        for event in events:
+            kind = event.get("event")
+            if kind == "grant":
+                lease_id = int(event.get("lease", 0))
+                max_lease_id = max(max_lease_id, lease_id)
+                open_leases[lease_id] = event
+                counters["leases_granted"] += 1
+            elif kind == "renew":
+                counters["leases_renewed"] += 1
+            elif kind == "expire":
+                open_leases.pop(int(event.get("lease", 0)), None)
+                counters["leases_expired"] += 1
+                counters["points_requeued"] += len(event.get("requeued", ()))
+            elif kind == "ingest":
+                lease_id = event.get("lease")
+                if lease_id is not None and event.get("lease_known"):
+                    open_leases.pop(int(lease_id), None)
+                counters["rows_accepted"] += int(event.get("accepted", 0))
+                counters["rows_foreign_salt"] += int(event.get("foreign_salt", 0))
+                counters["rows_unknown"] += int(event.get("unknown", 0))
+                counters["rows_duplicate"] += int(event.get("duplicates", 0))
+                counters["points_completed"] += len(event.get("completed", ()))
+                counters["points_requeued"] += len(event.get("requeued", ()))
+        self.state.counters.update(counters)
+        self.state._next_lease_id = max_lease_id + 1
+        # Leases open at the crash: their deadlines lived on the dead
+        # process's monotonic clock — expire them now, journaling the
+        # expiry so the next replay does not repeat it.
+        for lease_id in sorted(open_leases):
+            self.state.counters["leases_expired"] += 1
+            self._journal({"event": "expire", "lease": lease_id, "requeued": [],
+                           "reason": "restart"})
+        self.telemetry.counter("coordinator.journal_replayed_events", len(events))
+
+    def _read_journal_events(self) -> list[dict[str, Any]]:
+        try:
+            data = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        events: list[dict[str, Any]] = []
+        for index, line in enumerate(data.split(b"\n")):
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail from a killed coordinator: everything before it
+                # is intact.  Corruption mid-file would also stop here; the
+                # store (authoritative for results) is unaffected either way.
+                break
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+    def _sync_done_from_store(self) -> None:
+        """Mark every universe key already present in the store as done."""
+        present = [
+            key for key in self.state.universe if self.store.get_row(key) is not None
+        ]
+        self.state.mark_done(present)
+
+    # -- service operations (thread-safe) -------------------------------
+    def _expire_overdue_locked(self, now: float) -> None:
+        for event in self.state.expire_overdue(now):
+            self._journal(event)
+            self.telemetry.counter("coordinator.leases_expired")
+            self.telemetry.counter(
+                "coordinator.points_requeued", len(event["requeued"])
+            )
+
+    def grant(self, worker: str, max_points: int | None = None) -> Lease | None:
+        """Grant a lease to ``worker`` (``None`` when nothing is grantable)."""
+        with self._lock, self.telemetry.span("coordinator.grant", worker=str(worker)):
+            now = self.clock()
+            self._expire_overdue_locked(now)
+            points = self.lease_points if max_points is None else min(
+                int(max_points), self.lease_points
+            )
+            if points < 1:
+                raise ValueError(f"max_points must be >= 1, got {max_points}")
+            lease, event = self.state.grant(worker, now, self.lease_ttl, points)
+            if lease is None:
+                return None
+            self._journal(event or {})
+            self.telemetry.counter("coordinator.leases_granted")
+            return lease
+
+    def renew(self, lease_id: int) -> Lease:
+        """Extend a lease's deadline by the TTL; raises :class:`LeaseError`
+        when the lease is no longer active."""
+        with self._lock, self.telemetry.span("coordinator.renew", lease=lease_id):
+            now = self.clock()
+            self._expire_overdue_locked(now)
+            lease, event = self.state.renew(int(lease_id), now, self.lease_ttl)
+            self._journal(event)
+            self.telemetry.counter("coordinator.leases_renewed")
+            return lease
+
+    def ingest(
+        self, lease_id: int | None, rows: Sequence[Mapping[str, Any]]
+    ) -> IngestReport:
+        """Ingest submitted store rows (see :meth:`CoordinatorState.ingest`);
+        accepted rows are appended to the merged store before the transition
+        is journaled, so a crash between the two re-ingests idempotently."""
+        with self._lock, self.telemetry.span(
+            "coordinator.ingest", lease="-" if lease_id is None else int(lease_id)
+        ):
+            now = self.clock()
+            self._expire_overdue_locked(now)
+            report, to_append, event = self.state.ingest(lease_id, rows)
+            if to_append:
+                self.store.append_rows(to_append)
+                self.store.flush_index()
+            self._journal(event)
+            self.telemetry.counter("coordinator.rows_accepted", report.accepted)
+            self.telemetry.counter("coordinator.rows_foreign_salt", report.foreign_salt)
+            self.telemetry.counter("coordinator.rows_unknown", report.unknown)
+            self.telemetry.counter("coordinator.points_completed", len(report.completed))
+            self.telemetry.counter("coordinator.points_requeued", len(report.requeued))
+            return report
+
+    def status(self) -> CoordinatorStatus:
+        """Current accounting (expires overdue leases first, so a status
+        probe is enough to drive progress while workers poll)."""
+        with self._lock:
+            self._expire_overdue_locked(self.clock())
+            return self.state.status()
+
+    def lease_payload(self, lease: Lease) -> dict[str, Any]:
+        """The wire form of a lease: id, salt, TTL and the *specs* (not just
+        keys) so a worker can evaluate without sharing a filesystem."""
+        return {
+            "id": lease.lease_id,
+            "worker": lease.worker,
+            "salt": self.store.code_salt,
+            "ttl": self.lease_ttl,
+            "keys": list(lease.keys),
+            "specs": [self.specs_by_key[key].as_dict() for key in lease.keys],
+        }
+
+
+# ----------------------------------------------------------------------
+# JSON-over-HTTP front end
+# ----------------------------------------------------------------------
+class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a :class:`Coordinator` via the server."""
+
+    server: "CoordinatorServer"
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr access log (the CLI prints its own).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"malformed JSON request body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SweepError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/api/status":
+            status = self.server.coordinator.status()
+            self._respond(200, status.as_dict())
+        else:
+            self._respond(404, {"error": f"unknown endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        coordinator = self.server.coordinator
+        try:
+            if self.path == "/api/lease":
+                request = self._read_json()
+                worker = str(request.get("worker") or "anonymous")
+                max_points = request.get("max_points")
+                lease = coordinator.grant(
+                    worker, None if max_points is None else int(max_points)
+                )
+                status = coordinator.status()
+                self._respond(
+                    200,
+                    {
+                        "lease": None if lease is None else coordinator.lease_payload(lease),
+                        "complete": status.complete,
+                        # Workers poll; the soonest an owed point can free up
+                        # is the earliest outstanding deadline.
+                        "retry_after": coordinator.lease_ttl if lease is None else 0.0,
+                    },
+                )
+            elif self.path == "/api/renew":
+                request = self._read_json()
+                coordinator.renew(int(request["lease"]))
+                self._respond(200, {"ok": True, "ttl": coordinator.lease_ttl})
+            elif self.path == "/api/submit":
+                request = self._read_json()
+                lease_id = request.get("lease")
+                rows = request.get("rows")
+                if not isinstance(rows, list):
+                    raise SweepError("submit body must carry a 'rows' list")
+                report = coordinator.ingest(
+                    None if lease_id is None else int(lease_id), rows
+                )
+                status = coordinator.status()
+                payload = report.as_dict()
+                payload["complete"] = status.complete
+                self._respond(200, payload)
+            elif self.path == "/api/shutdown":
+                self._respond(200, {"ok": True})
+                self.server.request_shutdown()
+            else:
+                self._respond(404, {"error": f"unknown endpoint {self.path!r}"})
+        except LeaseError as exc:
+            self._respond(409, {"error": str(exc)})
+        except (SweepError, KeyError, TypeError, ValueError) as exc:
+            self._respond(400, {"error": str(exc)})
+
+
+class CoordinatorServer(ThreadingHTTPServer):
+    """JSON-over-HTTP front end for a :class:`Coordinator`.
+
+    Binds ``host:port`` (``port=0`` picks a free port — tests and the fault
+    harness use that) and serves the protocol documented in
+    ``docs/sweeps.md``.  :meth:`serve_until_done` runs the accept loop until
+    the sweep completes (when ``exit_when_complete``) or a client posts
+    ``/api/shutdown``; :meth:`start_background` runs it on a daemon thread
+    for in-process use.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _CoordinatorRequestHandler)
+        self.coordinator = coordinator
+        self._shutdown_requested = threading.Event()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (safe from handler threads)."""
+        self._shutdown_requested.set()
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def serve_until_done(
+        self, exit_when_complete: bool = True, poll_interval: float = 0.2
+    ) -> None:
+        """Serve until ``/api/shutdown`` (always honoured) or — with
+        ``exit_when_complete`` — until every universe point is done."""
+        watcher: threading.Thread | None = None
+        if exit_when_complete:
+
+            def watch() -> None:
+                while not self._shutdown_requested.is_set():
+                    if self.coordinator.status().complete:
+                        self.request_shutdown()
+                        return
+                    time.sleep(poll_interval)
+
+            watcher = threading.Thread(target=watch, daemon=True)
+            watcher.start()
+        try:
+            self.serve_forever(poll_interval=poll_interval)
+        finally:
+            self._shutdown_requested.set()
+            if watcher is not None:
+                watcher.join(timeout=2.0)

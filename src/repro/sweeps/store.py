@@ -74,6 +74,7 @@ __all__ = [
     "ResultStore",
     "default_code_salt",
     "merge_stores",
+    "result_row",
     "spec_key",
 ]
 
@@ -105,6 +106,28 @@ def spec_key(spec: SweepPointSpec, code_salt: str | None = None) -> str:
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_row(result: SweepPointResult, code_salt: str | None = None) -> dict:
+    """The raw store-row form of ``result`` under ``code_salt``.
+
+    This is the wire format of the whole sweep layer: what
+    :meth:`ResultStore.put` appends, what :func:`merge_stores` transplants,
+    and what a coordinator worker submits over the fleet protocol
+    (:mod:`repro.sweeps.worker`) — a worker can build valid rows without
+    ever opening a store of its own.
+    """
+    salt = default_code_salt() if code_salt is None else code_salt
+    return {
+        "key": spec_key(result.spec, salt),
+        "salt": salt,
+        "spec": result.spec.as_dict(),
+        "latencies_us": list(result.latencies_us),
+        # Pair list, not an object: metric order is part of the result
+        # (report tables use it for column order) and canonical-JSON key
+        # sorting must not scramble it.
+        "metrics": [[k, v] for k, v in result.metrics],
+    }
 
 
 #: Bump when the manifest layout changes meaning.
@@ -288,16 +311,7 @@ class ResultStore:
         )
 
     def _row(self, result: SweepPointResult) -> dict:
-        return {
-            "key": self.key(result.spec),
-            "salt": self.code_salt,
-            "spec": result.spec.as_dict(),
-            "latencies_us": list(result.latencies_us),
-            # Pair list, not an object: metric order is part of the result
-            # (report tables use it for column order) and canonical-JSON key
-            # sorting must not scramble it.
-            "metrics": [[k, v] for k, v in result.metrics],
-        }
+        return result_row(result, self.code_salt)
 
     def put(self, result: SweepPointResult) -> str:
         """Append ``result`` (checkpoint) and return its key."""

@@ -1,0 +1,249 @@
+"""Coordinator worker: the client half of the fleet protocol.
+
+A worker is any process that can reach the coordinator's JSON-over-HTTP
+endpoint (:class:`~repro.sweeps.coordinator.CoordinatorServer`).  It loops:
+request a lease, evaluate the leased specs through the same
+:func:`~repro.sweeps.spec.evaluate_spec` path every other execution mode
+uses, submit the rows, repeat until the coordinator reports the sweep
+complete.  Workers hold no durable state — the lease protocol plus the
+store's content-addressed idempotence mean a worker can die at any point
+(before, during or after evaluation) and the fleet still converges.
+
+:class:`WorkerClient` speaks the wire protocol (stdlib ``urllib``);
+:func:`run_worker` is the full loop, used by ``repro-spam sweep work`` and
+by the fault-injection harness (``tools/coordinator_fault_check.py``,
+``tests/test_coordinator.py``).
+
+Fault injection
+---------------
+``run_worker(..., fault=...)`` scripts the failure modes the coordinator
+must absorb.  Faults fire on the worker's *first* lease, then the worker
+exits, so a harness pairs one faulty worker with healthy ones and asserts
+convergence:
+
+``"stall"``
+    Acquire a lease, announce it on stdout (``lease N acquired; stalling``)
+    and block forever — the harness SIGKILLs the process mid-lease and the
+    coordinator must expire the lease and re-queue its points.
+``"die-before-submit"``
+    Evaluate the lease fully, then exit without submitting (a worker dying
+    at the last instant; indistinguishable from a crash to the coordinator).
+``"partial-submit"``
+    Submit only the first half of the lease's rows: the coordinator must
+    complete those and immediately re-queue the rest.
+``"foreign-salt"``
+    Submit every row under a wrong code salt (a worker running mismatched
+    code): the coordinator must reject all rows and keep the points owed.
+``"duplicate-submit"``
+    Submit the same rows twice (retry storms): the second submission must
+    be absorbed idempotently.  The worker then continues healthily.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import SweepError
+from .spec import SweepPointSpec, evaluate_spec, spec_from_dict
+from .store import default_code_salt, result_row
+
+__all__ = ["WorkerClient", "WorkerReport", "run_worker", "WORKER_FAULTS"]
+
+#: Fault modes :func:`run_worker` can script (see module docstring).
+WORKER_FAULTS = (
+    "none",
+    "stall",
+    "die-before-submit",
+    "partial-submit",
+    "foreign-salt",
+    "duplicate-submit",
+)
+
+
+class WorkerClient:
+    """JSON-over-HTTP client for the coordinator protocol.
+
+    Methods raise :class:`~repro.errors.SweepError` on protocol-level
+    errors (a 4xx response carries an ``{"error": ...}`` body) and let
+    connection failures (``urllib.error.URLError``) propagate — a worker
+    losing its coordinator has no useful local recovery.
+    """
+
+    def __init__(self, url: str, worker_id: str = "worker", timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.worker_id = worker_id
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        if payload is None:
+            request = urllib.request.Request(self.url + path, method="GET")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            request = urllib.request.Request(
+                self.url + path,
+                data=body,
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                document = json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read())
+                message = document.get("error", str(exc))
+            except (json.JSONDecodeError, AttributeError):
+                message = str(exc)
+            raise SweepError(f"coordinator rejected {path}: {message}") from None
+        if not isinstance(document, dict):
+            raise SweepError(f"coordinator returned a non-object response for {path}")
+        return document
+
+    def lease(self, max_points: int | None = None) -> dict[str, Any]:
+        """Request a lease: ``{"lease": {...} | None, "complete": bool,
+        "retry_after": float}``."""
+        payload: dict[str, Any] = {"worker": self.worker_id}
+        if max_points is not None:
+            payload["max_points"] = int(max_points)
+        return self._request("/api/lease", payload)
+
+    def renew(self, lease_id: int) -> dict[str, Any]:
+        """Extend a lease's deadline by the coordinator's TTL."""
+        return self._request("/api/renew", {"lease": int(lease_id)})
+
+    def submit_rows(self, lease_id: int | None, rows: Sequence[dict]) -> dict[str, Any]:
+        """Submit store rows for a lease (``None``: unsolicited rows, e.g.
+        recovered from a previous worker's local store)."""
+        return self._request(
+            "/api/submit",
+            {"lease": None if lease_id is None else int(lease_id), "rows": list(rows)},
+        )
+
+    def status(self) -> dict[str, Any]:
+        """The coordinator's current accounting."""
+        return self._request("/api/status")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the coordinator process to stop serving."""
+        return self._request("/api/shutdown", {})
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`run_worker` loop did."""
+
+    worker_id: str
+    leases: int = 0
+    points_evaluated: int = 0
+    rows_submitted: int = 0
+    faults_injected: int = 0
+    #: Why the loop ended: ``"complete"`` (coordinator reported the sweep
+    #: done), ``"fault"`` (a scripted one-shot fault ended the worker) or
+    #: ``"lease-limit"`` (``max_leases`` reached).
+    stopped: str = "complete"
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker_id}: {self.leases} leases, "
+            f"{self.points_evaluated} points evaluated, "
+            f"{self.rows_submitted} rows submitted ({self.stopped})"
+        )
+
+
+def run_worker(
+    url: str,
+    worker_id: str = "worker",
+    max_points: int | None = None,
+    poll_interval: float = 0.25,
+    max_leases: int | None = None,
+    fault: str = "none",
+    evaluate: Callable[[SweepPointSpec], Any] = evaluate_spec,
+    announce: Callable[[str], None] | None = None,
+) -> WorkerReport:
+    """Drain leases from the coordinator at ``url`` until the sweep is done.
+
+    Each lease's specs are evaluated with ``evaluate`` (the library's
+    :func:`~repro.sweeps.spec.evaluate_spec` by default) and the rows are
+    submitted in one request.  ``fault`` scripts a one-shot failure mode on
+    the first lease (see the module docstring); ``announce`` receives
+    progress lines (the CLI passes ``print``).  The worker refuses to start
+    against a coordinator running a different code salt — its rows would
+    all be rejected as foreign.
+    """
+    if fault not in WORKER_FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; pick one of {WORKER_FAULTS}")
+    client = WorkerClient(url, worker_id)
+    report = WorkerReport(worker_id=worker_id)
+    say = announce if announce is not None else (lambda line: None)
+    first_lease = True
+    while True:
+        if max_leases is not None and report.leases >= max_leases:
+            report.stopped = "lease-limit"
+            return report
+        response = client.lease(max_points)
+        lease = response.get("lease")
+        if lease is None:
+            if response.get("complete"):
+                report.stopped = "complete"
+                return report
+            # Every owed point is covered by someone else's active lease:
+            # poll until one completes or expires.
+            time.sleep(poll_interval)
+            continue
+        lease_id = int(lease["id"])
+        salt = str(lease["salt"])
+        if salt != default_code_salt() and fault != "foreign-salt":
+            raise SweepError(
+                f"coordinator runs code salt {salt!r} but this worker has "
+                f"{default_code_salt()!r}; every submission would be rejected "
+                f"— align the code versions"
+            )
+        report.leases += 1
+        say(f"lease {lease_id} acquired ({len(lease['specs'])} points)")
+        active_fault = fault if first_lease and fault != "none" else "none"
+        first_lease = False
+        if active_fault == "stall":
+            report.faults_injected += 1
+            say(f"lease {lease_id} stalling")
+            while True:  # the harness kills the process here
+                time.sleep(poll_interval)
+        rows = []
+        for spec_data in lease["specs"]:
+            spec = spec_from_dict(spec_data)
+            result = evaluate(spec)
+            rows.append(result_row(result))
+            report.points_evaluated += 1
+        if active_fault == "die-before-submit":
+            report.faults_injected += 1
+            report.stopped = "fault"
+            say(f"lease {lease_id} dying before submit")
+            return report
+        if active_fault == "foreign-salt":
+            report.faults_injected += 1
+            rows = [dict(row, salt="foreign-salt/injected-by-harness") for row in rows]
+        if active_fault == "partial-submit":
+            report.faults_injected += 1
+            rows = rows[: max(1, len(rows) // 2)]
+        outcome = client.submit_rows(lease_id, rows)
+        report.rows_submitted += len(rows)
+        say(
+            f"lease {lease_id} submitted: {outcome.get('accepted', 0)} accepted, "
+            f"{outcome.get('foreign_salt', 0)} foreign, "
+            f"{len(outcome.get('requeued', ()))} requeued"
+        )
+        if active_fault == "duplicate-submit":
+            # Lease is closed now; the retry arrives lease-less and must be
+            # absorbed idempotently.
+            client.submit_rows(None, rows)
+            report.rows_submitted += len(rows)
+        if active_fault in ("foreign-salt", "partial-submit"):
+            report.stopped = "fault"
+            return report
+        if outcome.get("complete"):
+            report.stopped = "complete"
+            return report

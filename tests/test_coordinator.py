@@ -1,0 +1,463 @@
+"""Tests for the fleet layer (:mod:`repro.sweeps.coordinator` / ``worker``).
+
+Covers the coordinator's acceptance guarantees at every layer:
+
+* :class:`CoordinatorState` — the pure lease state machine: keys are owed
+  to exactly one active lease (never double-granted), expiry and partial
+  or foreign-salt submissions re-queue owed points, duplicate and
+  late/lease-less submissions are absorbed idempotently;
+* a hypothesis property: **arbitrary interleavings** of grant / clock
+  advance / full / partial / foreign-salt / lease-less submissions keep
+  the invariants and always leave the sweep drainable to full coverage —
+  no point is ever permanently owed;
+* :class:`Coordinator` — store sync (a warm store counts as done), journal
+  replay (counters and lease-id continuity survive a restart, open leases
+  are expired, a torn journal tail is dropped), deterministic expiry with
+  an injected clock;
+* the HTTP front end + :func:`run_worker` — a real server on a loopback
+  port driven by the worker loop, wire-level error mapping (409 for dead
+  leases, 400 for malformed bodies), and fault-mode convergence;
+* the subprocess differential — the fault-injection harness
+  (``tools/coordinator_fault_check.py``) scenario that SIGKILLs a worker
+  mid-lease and still converges to the single-host golden export.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SweepError
+from repro.experiments.common import ExperimentScale
+from repro.experiments.figure2 import Figure2Config, figure2_specs
+from repro.sweeps import (
+    Coordinator,
+    CoordinatorServer,
+    CoordinatorState,
+    LeaseError,
+    ResultStore,
+    WorkerClient,
+    evaluate_spec,
+    result_row,
+    run_sweep,
+    run_worker,
+)
+from repro.sweeps.coordinator import JOURNAL_NAME
+
+TTL = 10.0
+
+
+class FakeClock:
+    """Injectable monotonic clock: tests advance it explicitly."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tiny_universe(counts=(1, 2, 4)):
+    """A real, fast spec universe (each point evaluates in milliseconds)."""
+    config = Figure2Config(
+        network_sizes=(16,),
+        destination_counts={16: list(counts)},
+        scale=ExperimentScale(
+            name="tiny", message_length_flits=16, samples_per_point=1,
+            messages_per_rate_point=10,
+        ),
+    )
+    return figure2_specs(config)
+
+
+def fake_row(key: str, salt: str = "salt") -> dict:
+    """A minimal store row for driving the *state machine* (which judges
+    only key membership and salt; real stores see real rows)."""
+    return {"key": key, "salt": salt, "spec": {}, "latencies_us": [1.0], "metrics": []}
+
+
+# ----------------------------------------------------------------------
+# CoordinatorState: the pure lease state machine
+# ----------------------------------------------------------------------
+class TestCoordinatorState:
+    KEYS = ("k1", "k2", "k3", "k4", "k5")
+
+    def make(self) -> CoordinatorState:
+        return CoordinatorState(self.KEYS, "salt")
+
+    def test_grant_covers_universe_in_order_without_double_granting(self):
+        state = self.make()
+        first, _ = state.grant("a", now=0.0, ttl=TTL, max_points=2)
+        second, _ = state.grant("b", now=0.0, ttl=TTL, max_points=2)
+        third, _ = state.grant("c", now=0.0, ttl=TTL, max_points=2)
+        assert first.keys == ("k1", "k2")
+        assert second.keys == ("k3", "k4")
+        assert third.keys == ("k5",)
+        # Everything is leased: nothing is grantable until expiry/submit.
+        assert state.grant("d", now=0.0, ttl=TTL, max_points=2) == (None, None)
+        status = state.status()
+        assert (status.total, status.done, status.leased, status.queued) == (5, 0, 5, 0)
+
+    def test_expiry_requeues_unfinished_keys(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=5)
+        assert state.expire_overdue(now=TTL - 1.0) == []
+        events = state.expire_overdue(now=TTL + 1.0)
+        assert [e["lease"] for e in events] == [lease.lease_id]
+        assert events[0]["requeued"] == list(self.KEYS)
+        regrant, _ = state.grant("b", now=TTL + 1.0, ttl=TTL, max_points=5)
+        assert regrant.keys == self.KEYS
+        assert regrant.lease_id != lease.lease_id
+
+    def test_renew_extends_deadline_and_rejects_dead_leases(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=1)
+        renewed, _ = state.renew(lease.lease_id, now=TTL - 1.0, ttl=TTL)
+        assert renewed.deadline == pytest.approx(2 * TTL - 1.0)
+        assert state.expire_overdue(now=TTL + 1.0) == []
+        with pytest.raises(LeaseError):
+            state.renew(999, now=0.0, ttl=TTL)
+
+    def test_full_submission_completes_and_closes_the_lease(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=2)
+        report, to_append, _ = state.ingest(
+            lease.lease_id, [fake_row(k) for k in lease.keys]
+        )
+        assert report.accepted == 2 and report.completed == lease.keys
+        assert report.requeued == () and report.lease_known
+        assert [row["key"] for row in to_append] == list(lease.keys)
+        assert state.lease(lease.lease_id) is None
+        assert state.is_done("k1") and state.is_done("k2")
+
+    def test_partial_submission_requeues_the_remainder_immediately(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=3)
+        report, _, _ = state.ingest(lease.lease_id, [fake_row("k1")])
+        assert report.completed == ("k1",)
+        assert report.requeued == ("k2", "k3")
+        # No deadline wait: the remainder is immediately grantable.
+        regrant, _ = state.grant("b", now=0.0, ttl=TTL, max_points=5)
+        assert regrant.keys == ("k2", "k3", "k4", "k5")
+
+    def test_foreign_salt_rows_are_rejected_and_points_stay_owed(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=2)
+        report, to_append, _ = state.ingest(
+            lease.lease_id, [fake_row(k, salt="other") for k in lease.keys]
+        )
+        assert report.foreign_salt == 2 and report.accepted == 0
+        assert to_append == []
+        assert report.requeued == lease.keys
+        assert not state.is_done("k1")
+
+    def test_unknown_keys_and_malformed_rows_are_counted_not_crashed(self):
+        state = self.make()
+        report, to_append, _ = state.ingest(
+            None, [fake_row("not-a-key"), {"salt": "salt"}, "garbage"]
+        )
+        assert report.unknown == 3 and report.accepted == 0
+        assert to_append == []
+
+    def test_duplicate_and_leaseless_submissions_are_idempotent(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=1)
+        state.ingest(lease.lease_id, [fake_row("k1")])
+        # Late re-submission of a done key, without any lease.
+        report, to_append, _ = state.ingest(None, [fake_row("k1")])
+        assert report.duplicates == 1 and report.accepted == 1
+        assert report.completed == () and not report.lease_known
+        # The row is still appended: the store's content addressing dedups.
+        assert [row["key"] for row in to_append] == ["k1"]
+
+    def test_leaseless_submission_shrinks_the_covering_lease(self):
+        state = self.make()
+        lease, _ = state.grant("a", now=0.0, ttl=TTL, max_points=2)
+        # Another worker (recovered rows, no lease) completes k1 first.
+        report, _, _ = state.ingest(None, [fake_row("k1")])
+        assert report.completed == ("k1",)
+        assert state.lease(lease.lease_id).keys == ("k2",)
+        # The original lease expiring must not re-queue the done point.
+        events = state.expire_overdue(now=TTL + 1.0)
+        assert events[0]["requeued"] == ["k2"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary interleavings keep the invariants and stay drainable
+# ----------------------------------------------------------------------
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("grant"), st.integers(0, 3), st.integers(1, 4)),
+        st.tuples(st.just("advance"), st.floats(0.0, 2.5 * TTL), st.just(0)),
+        st.tuples(st.just("submit_full"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("submit_partial"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("submit_foreign"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("submit_leaseless"), st.integers(0, 7), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def _check_invariants(state: CoordinatorState) -> None:
+    status = state.status()
+    assert status.done + status.leased + status.queued == status.total
+    leased_keys = [key for lease in status.active_leases for key in lease.keys]
+    # No key is covered by two active leases, and every leased key is owed.
+    assert len(leased_keys) == len(dict.fromkeys(leased_keys))
+    assert all(not state.is_done(key) for key in leased_keys)
+    assert status.leased == len(leased_keys)
+
+
+class TestInterleavingProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(universe_size=st.integers(1, 6), ops=_OPS)
+    def test_any_interleaving_reaches_full_coverage(self, universe_size, ops):
+        keys = [f"k{i}" for i in range(universe_size)]
+        state = CoordinatorState(keys, "salt")
+        now = 0.0
+        for kind, a, b in ops:
+            if kind == "grant":
+                state.expire_overdue(now)
+                state.grant(f"w{a}", now=now, ttl=TTL, max_points=b)
+            elif kind == "advance":
+                now += a
+                state.expire_overdue(now)
+            else:
+                active = state.active_leases()
+                if kind == "submit_leaseless":
+                    key = keys[a % len(keys)]
+                    state.ingest(None, [fake_row(key)])
+                elif active:
+                    lease = active[a % len(active)]
+                    if kind == "submit_full":
+                        rows = [fake_row(k) for k in lease.keys]
+                    elif kind == "submit_partial":
+                        rows = [fake_row(k) for k in lease.keys[: len(lease.keys) // 2]]
+                    else:  # submit_foreign
+                        rows = [fake_row(k, salt="other") for k in lease.keys]
+                    state.ingest(lease.lease_id, rows)
+            _check_invariants(state)
+        # Liveness: whatever the history, the sweep drains to completion —
+        # no point is permanently owed, no lease is stuck.
+        for _ in range(len(keys) + 1):
+            if state.complete:
+                break
+            now += TTL + 1.0
+            state.expire_overdue(now)
+            lease, _ = state.grant("drain", now=now, ttl=TTL, max_points=len(keys))
+            assert lease is not None, "owed points but nothing grantable"
+            state.ingest(lease.lease_id, [fake_row(k) for k in lease.keys])
+            _check_invariants(state)
+        assert state.complete
+        assert state.status().done == len(keys)
+
+
+# ----------------------------------------------------------------------
+# Coordinator: store sync, journal replay, deterministic expiry
+# ----------------------------------------------------------------------
+class TestCoordinator:
+    def make(self, tmp_path, clock=None, specs=None):
+        specs = tiny_universe() if specs is None else specs
+        store = ResultStore(tmp_path / "store")
+        coordinator = Coordinator(
+            specs, store, lease_ttl=TTL, lease_points=2,
+            clock=clock if clock is not None else FakeClock(),
+        )
+        return specs, store, coordinator
+
+    def test_grant_evaluate_ingest_completes_the_sweep(self, tmp_path):
+        specs, store, coordinator = self.make(tmp_path)
+        while not coordinator.status().complete:
+            lease = coordinator.grant("w")
+            assert lease is not None
+            rows = [
+                result_row(evaluate_spec(coordinator.specs_by_key[key]))
+                for key in lease.keys
+            ]
+            report = coordinator.ingest(lease.lease_id, rows)
+            assert report.accepted == len(lease.keys)
+        status = coordinator.status()
+        assert status.complete and status.done == len(specs)
+        # The merged store is complete and readable by the normal machinery.
+        manifest = ResultStore(tmp_path / "store").manifest_status()
+        assert manifest is not None and manifest.complete
+        warm = run_sweep(specs, store=ResultStore(tmp_path / "store"))
+        assert warm.computed == 0 and warm.cache_hits == len(specs)
+
+    def test_warm_store_counts_as_done_at_startup(self, tmp_path):
+        specs = tiny_universe()
+        seeded = ResultStore(tmp_path / "store")
+        outcome = run_sweep(specs, store=seeded)
+        assert outcome.computed == len(specs)
+        _, _, coordinator = self.make(tmp_path, specs=specs)
+        assert coordinator.status().complete
+        assert coordinator.grant("w") is None
+
+    def test_clock_driven_expiry_requeues_for_the_next_worker(self, tmp_path):
+        clock = FakeClock()
+        specs, _, coordinator = self.make(tmp_path, clock=clock)
+        lease = coordinator.grant("dead-worker")
+        assert lease is not None
+        clock.advance(TTL + 1.0)
+        status = coordinator.status()  # expires overdue leases
+        assert status.leased == 0 and status.queued == len(specs)
+        regrant = coordinator.grant("live-worker")
+        assert regrant.keys == lease.keys
+        assert regrant.lease_id > lease.lease_id
+
+    def test_journal_replay_restores_counters_and_lease_ids(self, tmp_path):
+        specs, store, coordinator = self.make(tmp_path)
+        lease = coordinator.grant("w")
+        rows = [
+            result_row(evaluate_spec(coordinator.specs_by_key[key]))
+            for key in lease.keys
+        ]
+        coordinator.ingest(lease.lease_id, rows)
+        granted = coordinator.state.counters["leases_granted"]
+        accepted = coordinator.state.counters["rows_accepted"]
+
+        _, _, restarted = self.make(tmp_path, specs=specs)
+        assert restarted.state.counters["leases_granted"] == granted
+        assert restarted.state.counters["rows_accepted"] == accepted
+        # Completed points were recovered from the store, not recomputed.
+        assert restarted.status().done == len(lease.keys)
+        # Lease ids keep increasing across the restart.
+        next_lease = restarted.grant("w2")
+        assert next_lease is not None and next_lease.lease_id > lease.lease_id
+
+    def test_restart_expires_open_leases_and_requeues(self, tmp_path):
+        specs, store, coordinator = self.make(tmp_path)
+        lease = coordinator.grant("doomed")
+        assert lease is not None
+        # Coordinator "crashes" holding an open lease; a new one replays.
+        _, _, restarted = self.make(tmp_path, specs=specs)
+        status = restarted.status()
+        assert status.leased == 0
+        assert status.queued == len(specs)
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "store" / JOURNAL_NAME).read_text().splitlines()
+        ]
+        restart_expiries = [
+            e for e in events if e["event"] == "expire" and e.get("reason") == "restart"
+        ]
+        assert [e["lease"] for e in restart_expiries] == [lease.lease_id]
+
+    def test_torn_journal_tail_is_dropped(self, tmp_path):
+        specs, store, coordinator = self.make(tmp_path)
+        lease = coordinator.grant("w")
+        journal = tmp_path / "store" / JOURNAL_NAME
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "grant", "lease": 99')  # killed mid-write
+        _, _, restarted = self.make(tmp_path, specs=specs)
+        # The torn line is ignored: lease 99 never existed, lease-id
+        # continuity comes from the intact prefix.
+        follow_on = restarted.grant("w2")
+        assert follow_on is not None
+        assert follow_on.lease_id == lease.lease_id + 1
+
+    def test_foreign_salt_rows_never_reach_the_store(self, tmp_path):
+        specs, store, coordinator = self.make(tmp_path)
+        lease = coordinator.grant("w")
+        rows = [
+            dict(result_row(evaluate_spec(coordinator.specs_by_key[key])),
+                 salt="foreign-salt/injected")
+            for key in lease.keys
+        ]
+        report = coordinator.ingest(lease.lease_id, rows)
+        assert report.foreign_salt == len(lease.keys) and report.accepted == 0
+        assert report.requeued == lease.keys
+        assert all(store.get_row(key) is None for key in lease.keys)
+
+
+# ----------------------------------------------------------------------
+# HTTP front end + worker loop
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def served(tmp_path):
+    specs = tiny_universe()
+    store = ResultStore(tmp_path / "store")
+    coordinator = Coordinator(specs, store, lease_ttl=TTL, lease_points=2,
+                              clock=FakeClock())
+    server = CoordinatorServer(coordinator)
+    server.start_background()
+    yield specs, coordinator, server
+    server.request_shutdown()
+    server.server_close()
+
+
+class TestHTTPFrontEnd:
+    def test_run_worker_drains_the_sweep(self, served):
+        specs, coordinator, server = served
+        report = run_worker(server.url, "w1", poll_interval=0.01)
+        assert report.stopped == "complete"
+        assert report.points_evaluated == len(specs)
+        assert coordinator.status().complete
+
+    def test_wire_protocol_and_error_mapping(self, served):
+        specs, coordinator, server = served
+        client = WorkerClient(server.url, "w1")
+        status = client.status()
+        assert status["total"] == len(specs) and not status["complete"]
+        response = client.lease(max_points=1)
+        lease = response["lease"]
+        assert lease is not None and len(lease["specs"]) == 1
+        assert lease["salt"] == coordinator.store.code_salt
+        assert client.renew(lease["id"])["ok"]
+        # Dead lease: 409 surfaced as a SweepError naming the lease.
+        with pytest.raises(SweepError, match="not active"):
+            client.renew(999)
+        # Malformed submit body: 400.
+        with pytest.raises(SweepError, match="rows"):
+            client._request("/api/submit", {"lease": lease["id"], "rows": "nope"})
+        # Unknown endpoint: 404.
+        with pytest.raises(SweepError, match="unknown endpoint"):
+            client._request("/api/nowhere", {})
+
+    def test_dead_worker_then_recovery_converges(self, served):
+        specs, coordinator, server = served
+        faulty = run_worker(server.url, "faulty", poll_interval=0.01,
+                            fault="die-before-submit")
+        assert faulty.stopped == "fault" and faulty.rows_submitted == 0
+        assert not coordinator.status().complete
+        # Deterministic deadline: advance the coordinator's injected clock.
+        coordinator.clock.advance(TTL + 1.0)
+        healthy = run_worker(server.url, "healthy", poll_interval=0.01)
+        assert healthy.stopped == "complete"
+        assert coordinator.status().complete
+
+    def test_duplicate_submission_over_the_wire_is_absorbed(self, served):
+        specs, coordinator, server = served
+        report = run_worker(server.url, "dup", poll_interval=0.01,
+                            fault="duplicate-submit")
+        assert report.stopped == "complete"
+        status = coordinator.status()
+        assert status.complete
+        assert status.as_dict()["counters"]["rows_duplicate"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Subprocess differential: the fault harness's mid-lease kill scenario
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fault_harness_stall_scenario_matches_golden():
+    """A real coordinator + two real workers, one SIGKILLed mid-lease —
+    the merged store's export must match the single-host golden byte for
+    byte (the same check CI's coordinator-smoke job runs)."""
+    repo_root = Path(__file__).resolve().parent.parent
+    result = subprocess.run(
+        [sys.executable, str(repo_root / "tools" / "coordinator_fault_check.py"),
+         "--scenario", "stall"],
+        capture_output=True, text=True, timeout=580,
+    )
+    assert result.returncode == 0, f"\n{result.stdout}\n{result.stderr}"
+    assert "scenario stall: PASSED" in result.stdout

@@ -426,6 +426,63 @@ class TestSharding:
         assert set(status.expected) == {store.key(spec) for spec in shard}
 
 
+class TestManifestStatusEdgeCases:
+    """Regression pins for `manifest_status` corner cases the fleet layer
+    leans on (the coordinator reads completion straight off the manifest)."""
+
+    def test_no_manifest_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path / "cache").manifest_status() is None
+
+    def test_corrupt_manifest_reads_as_absent(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.manifest_path.write_text("{not json")
+        assert store.manifest_status() is None
+        # A well-formed payload without an "expected" list is equally void.
+        store.manifest_path.write_text(json.dumps({"schema": 1, "salt": "s"}))
+        assert store.manifest_status() is None
+
+    def test_empty_manifest_is_vacuously_complete(self, tmp_path):
+        """An empty expected set (recorded before any specs existed) owes
+        nothing: complete, zero counts, and a shard-less describe line."""
+        store = ResultStore(tmp_path / "cache")
+        store.record_expected([])
+        status = store.manifest_status()
+        assert status is not None
+        assert status.expected == () and status.done == () and status.missing == ()
+        assert status.complete
+        assert status.describe() == "store: 0/0 expected points done"
+
+    def test_expected_but_empty_store_owes_every_point(self, tmp_path):
+        """A manifest recorded up front (the coordinator does this at
+        startup) against a store with no rows yet: nothing done, everything
+        missing, and the describe line says so."""
+        _config, specs = small_specs((1, 4))
+        store = ResultStore(tmp_path / "cache")
+        store.record_expected(specs)
+        status = store.manifest_status()
+        assert status is not None and not status.complete
+        assert status.done == ()
+        assert set(status.missing) == {store.key(spec) for spec in specs}
+        assert status.describe() == "store: 0/2 expected points done, 2 missing"
+
+    def test_null_shard_tag_survives_and_mixed_designators_stay_null(self, tmp_path):
+        """A store that accumulated mixed shard designators keeps the null
+        tag on *every* later recording — once the expected set spans
+        several shards no single designator may ever re-label it."""
+        _config, specs = small_specs((1, 4, 8, 15))
+        store = ResultStore(tmp_path / "cache")
+        store.record_expected(shard_specs(specs, 0, 2), shard=(0, 2))
+        store.record_expected(shard_specs(specs, 1, 2), shard=(1, 2))
+        assert store.manifest_status().shard is None
+        # Re-recording the original shard must not resurrect its tag.
+        store.record_expected(shard_specs(specs, 0, 2), shard=(0, 2))
+        status = store.manifest_status()
+        assert status.shard is None
+        assert status.describe().startswith("store:")
+        assert set(status.expected) == {store.key(spec) for spec in specs}
+
+
 class TestShardWholeDifferential:
     """The shard/engine contract: a figure assembled from N merged shard
     stores is byte-identical to the figure from one unsharded run."""

@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Fault-injection differential for the sweep coordinator (CI smoke job).
+
+Runs the smoke-scale Figure-3 universe twice: once through single-host
+:func:`repro.sweeps.run_sweep` (the golden), then through a real
+coordinator fleet — one ``repro-spam sweep serve`` process plus two
+``sweep work`` processes, one of which misbehaves per scenario — and
+asserts the acceptance guarantee of the fleet layer:
+
+    whatever the workers do, the coordinator's merged store converges to
+    the full universe and its figure export is **byte-identical** to the
+    single-host run.
+
+Scenarios (one faulty worker + one healthy worker each):
+
+``none``
+    Baseline: two healthy workers split the sweep.
+``stall``
+    The faulty worker acquires a lease and hangs; the harness SIGKILLs it
+    mid-lease.  The coordinator must expire the lease and re-queue its
+    points for the healthy worker.
+``die-before-submit``
+    The faulty worker evaluates its lease fully, then exits without
+    submitting — indistinguishable from a crash.
+``partial-submit``
+    The faulty worker submits only half its lease's rows; the remainder
+    must be re-queued immediately (no deadline wait).
+``foreign-salt``
+    The faulty worker submits every row under a wrong code salt; all rows
+    must be rejected and the points stay owed.
+``duplicate-submit``
+    The faulty worker submits the same rows twice; the retry must be
+    absorbed idempotently.
+
+Every scenario also drives the coordinator's front end the way an operator
+would: ``repro-spam sweep status --url ...`` must report completion before
+the harness shuts the service down.
+
+Usage::
+
+    PYTHONPATH=src python tools/coordinator_fault_check.py \
+        [--scenario NAME | --scenario all] [--lease-ttl S]
+
+Exits nonzero (AssertionError) on any violated guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.common import SCALES  # noqa: E402
+from repro.experiments.figure3 import (  # noqa: E402
+    Figure3Config,
+    figure3_result_from_points,
+    figure3_specs,
+)
+from repro.sweeps import ResultStore, WorkerClient, run_sweep  # noqa: E402
+
+SCENARIOS = (
+    "none",
+    "stall",
+    "die-before-submit",
+    "partial-submit",
+    "foreign-salt",
+    "duplicate-submit",
+)
+
+#: The smoke universe every scenario runs (must match the serve arguments
+#: in :func:`launch_serve` — 4 points at smoke scale).
+FLEET_CONFIG = Figure3Config(
+    network_size=32,
+    multicast_degrees=(4, 8),
+    arrival_rates_per_us=(0.005, 0.02),
+    scale=SCALES["smoke"],
+)
+
+_SERVE_ARGS = [
+    "--universe", "figure3",
+    "--network-size", "32",
+    "--degrees", "4", "8",
+    "--rates", "0.005", "0.02",
+]
+
+_URL_PATTERN = re.compile(r"listening on (http://\S+)")
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def export_bytes(outcome) -> bytes:
+    """Figure-3 export bytes, matching ``repro-spam sweep --export``."""
+    figure = figure3_result_from_points(FLEET_CONFIG, outcome.results)
+    return (json.dumps(figure.as_dict(), indent=2, sort_keys=True) + "\n").encode()
+
+
+def golden_export(tmp: Path) -> bytes:
+    """Single-host ``run_sweep`` of the universe into a throwaway store."""
+    specs = figure3_specs(FLEET_CONFIG)
+    outcome = run_sweep(specs, store=ResultStore(tmp / "golden-store"))
+    assert outcome.computed == len(specs), outcome.summary()
+    return export_bytes(outcome)
+
+
+def launch_serve(store_dir: Path, lease_ttl: float, lease_points: int = 2):
+    """Start ``sweep serve`` on a free port; returns ``(process, url)``."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "--scale", "smoke", "sweep", "serve",
+         *_SERVE_ARGS,
+         "--cache-dir", str(store_dir),
+         "--lease-ttl", str(lease_ttl),
+         "--lease-points", str(lease_points),
+         "--port", "0",
+         "--no-exit-when-complete"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_child_env(),
+    )
+    url = None
+    assert process.stdout is not None
+    for line in process.stdout:
+        print(f"  [serve] {line}", end="")
+        match = _URL_PATTERN.search(line)
+        if match:
+            url = match.group(1)
+            break
+    assert url, "sweep serve never announced its URL"
+    return process, url
+
+
+def launch_worker(url: str, worker_id: str, fault: str = "none") -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "sweep", "work",
+         "--url", url, "--worker-id", worker_id,
+         "--poll-interval", "0.25", "--fault", fault],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_child_env(),
+    )
+
+
+def wait_for_line(process: subprocess.Popen, needle: str, label: str) -> None:
+    """Stream a worker's stdout until ``needle`` appears."""
+    assert process.stdout is not None
+    for line in process.stdout:
+        print(f"  [{label}] {line}", end="")
+        if needle in line:
+            return
+    raise AssertionError(f"{label} exited without printing {needle!r}")
+
+
+def drain(process: subprocess.Popen, label: str, timeout: float = 120.0) -> int:
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise AssertionError(f"{label} did not exit within {timeout:.0f}s")
+    for line in (output or "").splitlines():
+        print(f"  [{label}] {line}")
+    return process.returncode
+
+
+def assert_status_complete(url: str) -> None:
+    """``repro-spam sweep status`` against the live coordinator must report
+    completion — the operator-facing view of convergence."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "sweep", "status", "--url", url],
+        capture_output=True, text=True, env=_child_env(), timeout=60,
+    )
+    print(f"  [status] {result.stdout.splitlines()[0] if result.stdout else result.stderr}")
+    assert result.returncode == 0, result.stderr
+    assert ", complete" in result.stdout.splitlines()[0], result.stdout
+
+
+def verify_store(store_dir: Path, golden: bytes) -> None:
+    """The merged store must be complete and serve the sweep warm: zero
+    points computed, export byte-identical to the single-host golden."""
+    status = ResultStore(store_dir).manifest_status()
+    assert status is not None and status.complete, status
+    specs = figure3_specs(FLEET_CONFIG)
+    warm = run_sweep(specs, store=ResultStore(store_dir))
+    assert warm.computed == 0 and warm.cache_hits == len(specs), warm.summary()
+    assert export_bytes(warm) == golden, (
+        "fleet-merged store's export differs from the single-host golden"
+    )
+    journal = store_dir / "coordinator.journal"
+    assert journal.exists() and journal.read_bytes().strip(), "journal missing/empty"
+
+
+def run_scenario(scenario: str, tmp: Path, golden: bytes, lease_ttl: float) -> None:
+    assert scenario in SCENARIOS, scenario
+    print(f"scenario {scenario}:")
+    store_dir = tmp / f"store-{scenario}"
+    serve, url = launch_serve(store_dir, lease_ttl)
+    try:
+        faulty = launch_worker(url, "faulty", fault=scenario)
+        if scenario == "stall":
+            # Let it acquire a lease and hang, then kill it mid-lease: the
+            # coordinator sees only silence and must expire the lease.
+            wait_for_line(faulty, "stalling", "faulty")
+            os.kill(faulty.pid, signal.SIGKILL)
+            faulty.wait(timeout=30)
+            print("  [harness] faulty worker SIGKILLed mid-lease")
+        else:
+            # The fault only fires on the faulty worker's first lease — make
+            # sure it holds one before the healthy worker joins the race.
+            wait_for_line(faulty, "acquired", "faulty")
+        healthy = launch_worker(url, "healthy")
+        if scenario != "stall":
+            faulty_code = drain(faulty, "faulty")
+            # A scripted fault is not a worker error: the process exits 0
+            # (the coordinator is the component under test, not the worker).
+            assert faulty_code == 0, f"faulty worker exited {faulty_code}"
+        healthy_code = drain(healthy, "healthy")
+        assert healthy_code == 0, f"healthy worker exited {healthy_code}"
+        assert_status_complete(url)
+        WorkerClient(url).shutdown()
+        serve_code = drain(serve, "serve", timeout=30)
+        assert serve_code == 0, f"sweep serve exited {serve_code}"
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+    verify_store(store_dir, golden)
+    print(f"scenario {scenario}: PASSED")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="all",
+                        choices=("all",) + SCENARIOS,
+                        help="fault scenario to run (default: all of them)")
+    parser.add_argument("--lease-ttl", type=float, default=4.0,
+                        help="coordinator lease TTL in seconds (short, so "
+                             "crash scenarios expire quickly)")
+    args = parser.parse_args()
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        golden = golden_export(tmp)
+        print(f"golden export: {len(golden)} bytes from single-host run_sweep")
+        for scenario in scenarios:
+            run_scenario(scenario, tmp, golden, args.lease_ttl)
+
+    print(f"coordinator fault check PASSED ({len(scenarios)} scenario(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
